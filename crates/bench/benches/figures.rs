@@ -1,0 +1,23 @@
+//! `cargo bench --bench figures` — regenerates every paper table and figure
+//! and prints the series (same rows the paper reports), timing each
+//! experiment. A plain `main` (harness = false) because the payload here is
+//! the regenerated data, not statistical timing; see `kernels.rs` for
+//! Criterion micro-benchmarks.
+//!
+//! Select a subset with `cargo bench --bench figures -- fig13 fig15`.
+
+use biscatter_bench::all_specs;
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    for spec in all_specs() {
+        if !filters.is_empty() && !filters.iter().any(|f| spec.name.contains(f.as_str())) {
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let exp = (spec.run)();
+        let elapsed = start.elapsed().as_secs_f64();
+        println!("{}", exp.to_table());
+        println!("[{}] regenerated in {elapsed:.2}s\n", spec.name);
+    }
+}

@@ -1,0 +1,70 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro [EXPERIMENT ...]       # run named experiments (default: all)
+//! repro --list                 # list experiment names
+//! repro --out DIR [EXPERIMENT] # also write JSON + CSV into DIR
+//! ```
+//!
+//! Environment: `BISCATTER_FRAMES` (Monte-Carlo frames per point, default
+//! 60), `BISCATTER_ISAC_FRAMES` (frames for localization points, default 8).
+
+use biscatter_bench::{all_specs, ExperimentSpec};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--list" => {
+                for s in all_specs() {
+                    println!("{:24} {}", s.name, s.paper_artifact);
+                }
+                return;
+            }
+            "--out" => {
+                out_dir = iter.next();
+                if out_dir.is_none() {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+
+    let specs: Vec<ExperimentSpec> = all_specs()
+        .into_iter()
+        .filter(|s| names.is_empty() || names.iter().any(|n| n == s.name))
+        .collect();
+    if specs.is_empty() {
+        eprintln!("no matching experiments; try --list");
+        std::process::exit(2);
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for spec in specs {
+        eprintln!("running {} ({}) ...", spec.name, spec.paper_artifact);
+        let start = std::time::Instant::now();
+        let exp = (spec.run)();
+        println!("{}", exp.to_table());
+        eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let json_path = format!("{dir}/{}.json", spec.name);
+            let csv_path = format!("{dir}/{}.csv", spec.name);
+            std::fs::File::create(&json_path)
+                .and_then(|mut f| f.write_all(exp.to_json().as_bytes()))
+                .expect("write JSON");
+            std::fs::File::create(&csv_path)
+                .and_then(|mut f| f.write_all(exp.to_csv().as_bytes()))
+                .expect("write CSV");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The experiment generators, grouped by theme.
+
+pub mod ablations;
+pub mod comm;
+pub mod isac;
+pub mod phy;
+pub mod tables;

@@ -1,0 +1,140 @@
+//! # biscatter-bench — paper-figure reproduction harness
+//!
+//! One function per table/figure of the paper's evaluation, each returning a
+//! [`biscatter_core::experiment::Experiment`] whose rows mirror what the
+//! paper plots. The `repro` binary and the `cargo bench` targets call these.
+//!
+//! Fidelity knob: the environment variable `BISCATTER_FRAMES` scales the
+//! Monte-Carlo frame count per operating point (default 60; the paper uses
+//! 10 000 — set `BISCATTER_FRAMES=10000` for a full run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use biscatter_core::experiment::Experiment;
+
+/// Monte-Carlo frames per operating point (`BISCATTER_FRAMES`, default 60).
+pub fn frames_per_point() -> usize {
+    std::env::var("BISCATTER_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// Frames per point for the heavier ISAC/localization experiments
+/// (`BISCATTER_ISAC_FRAMES`, default 8).
+pub fn isac_frames_per_point() -> usize {
+    std::env::var("BISCATTER_ISAC_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// A registered reproduction experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Stable id (matches the bench target name).
+    pub name: &'static str,
+    /// What paper artifact it regenerates.
+    pub paper_artifact: &'static str,
+    /// The generator.
+    pub run: fn() -> Experiment,
+}
+
+/// Every reproduction experiment, in paper order.
+pub fn all_specs() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec {
+            name: "fig05_beat_frequency",
+            paper_artifact: "Figure 5 — beat frequency vs chirp duration",
+            run: figures::phy::fig05_beat_frequency,
+        },
+        ExperimentSpec {
+            name: "fig06_fft_windows",
+            paper_artifact: "Figure 6 — FFT window size/alignment cases",
+            run: figures::phy::fig06_fft_windows,
+        },
+        ExperimentSpec {
+            name: "fig07_if_correction",
+            paper_artifact: "Figure 7 — range-profile ambiguity and IF correction",
+            run: figures::phy::fig07_if_correction,
+        },
+        ExperimentSpec {
+            name: "fig10_11_delay_line",
+            paper_artifact: "Figures 10–11 — PCB delay line S11/insertion loss/delay",
+            run: figures::phy::fig10_11_delay_line,
+        },
+        ExperimentSpec {
+            name: "fig12_ber_symbol_size",
+            paper_artifact: "Figure 12 — downlink BER vs symbol size × bandwidth",
+            run: figures::comm::fig12_ber_symbol_size,
+        },
+        ExperimentSpec {
+            name: "fig13_ber_distance",
+            paper_artifact: "Figure 13 — downlink BER vs distance × symbol size",
+            run: figures::comm::fig13_ber_distance,
+        },
+        ExperimentSpec {
+            name: "fig14_ber_delay_line",
+            paper_artifact: "Figure 14 — downlink BER vs SNR × delay-line ΔL",
+            run: figures::comm::fig14_ber_delay_line,
+        },
+        ExperimentSpec {
+            name: "fig15_uplink_snr",
+            paper_artifact: "Figure 15 — uplink SNR vs distance (retro vs specular)",
+            run: figures::isac::fig15_uplink_snr,
+        },
+        ExperimentSpec {
+            name: "fig16_localization",
+            paper_artifact: "Figure 16 — localization error, sensing-only vs during comms",
+            run: figures::isac::fig16_localization,
+        },
+        ExperimentSpec {
+            name: "fig17_mmwave",
+            paper_artifact: "Figure 17 — BER vs SNR, 9 GHz vs 24 GHz at 250 MHz",
+            run: figures::comm::fig17_mmwave,
+        },
+        ExperimentSpec {
+            name: "table1_capabilities",
+            paper_artifact: "Table 1 — capability comparison",
+            run: figures::tables::table1_capabilities,
+        },
+        ExperimentSpec {
+            name: "ablation_gray_mapping",
+            paper_artifact: "Ablation — Gray vs natural bit mapping (DESIGN.md §4.1)",
+            run: figures::ablations::ablation_gray_mapping,
+        },
+        ExperimentSpec {
+            name: "ablation_spreading",
+            paper_artifact: "Extension — chirp-spread-spectrum coding (paper §6)",
+            run: figures::ablations::ablation_spreading,
+        },
+        ExperimentSpec {
+            name: "ablation_background_subtraction",
+            paper_artifact: "Ablation — first-chirp background subtraction (paper §3.3)",
+            run: figures::ablations::ablation_background_subtraction,
+        },
+        ExperimentSpec {
+            name: "extension_aoa_2d",
+            paper_artifact: "Extension — 2D localization via RX-array AoA",
+            run: figures::ablations::extension_aoa_2d,
+        },
+        ExperimentSpec {
+            name: "ablation_goertzel_vs_fft",
+            paper_artifact: "Ablation — Goertzel bank vs full FFT decode cost (paper §4.1)",
+            run: figures::ablations::ablation_goertzel_vs_fft,
+        },
+        ExperimentSpec {
+            name: "table_power_datarate",
+            paper_artifact: "§4.1 power budget and §3.2.2/eq.14 data rates",
+            run: figures::tables::table_power_datarate,
+        },
+    ]
+}
+
+/// Runs one experiment by name; `None` if unknown.
+pub fn run_by_name(name: &str) -> Option<Experiment> {
+    all_specs().into_iter().find(|s| s.name == name).map(|s| (s.run)())
+}

@@ -1,0 +1,327 @@
+//! The integrated ISAC frame: one chirp train carrying downlink data,
+//! uplink backscatter, sensing, and localization simultaneously (paper §3.3).
+//!
+//! A frame is built from the downlink packet (CSSK slopes) padded with
+//! header-slope chirps to the full slow-time window. The same train is then
+//! "experienced" twice, once per signal path:
+//!
+//! * **Tag side** — the chirps arrive at the tag's envelope decoder at the
+//!   SNR given by the one-way budget; the tag runs its full pipeline.
+//! * **Radar side** — the scene (clutter, movers, and the tag modulating at
+//!   its subcarrier) reflects the chirps; the radar dechirps, aligns (IF
+//!   correction), subtracts background, forms the range–Doppler map,
+//!   localizes the tag, demodulates the uplink, and runs CFAR detection for
+//!   its primary sensing job.
+//!
+//! The tag's reflectivity toggles at its modulation frequency, so during
+//! absorptive half-cycles it decodes and during reflective half-cycles it
+//! retro-reflects — both at once from the frame's point of view, which is
+//! exactly the integration the paper demonstrates.
+
+use crate::downlink::FrameOutcome;
+use crate::system::BiScatterSystem;
+use biscatter_link::packet::DownlinkPacket;
+use biscatter_radar::receiver::doppler::range_doppler;
+use biscatter_radar::receiver::localize::{locate_tag, TagLocation};
+use biscatter_radar::receiver::uplink::{demodulate, UplinkScheme};
+use biscatter_radar::receiver::{align_frame, RxConfig};
+use biscatter_radar::sensing::{CfarDetector, Detection};
+use biscatter_radar::sequencer::isac_frame;
+use biscatter_rf::if_gen::IfReceiver;
+use biscatter_rf::scene::{Scatterer, Scene, TagModulation};
+use biscatter_tag::decoder::DownlinkDecoder;
+use biscatter_dsp::signal::NoiseSource;
+
+/// A static reflector in the scenario (range, amplitude relative to the
+/// tag's reflective-state amplitude).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClutterSpec {
+    /// Range, metres.
+    pub range_m: f64,
+    /// Amplitude relative to the tag (typically ≫ 1: walls and shelves
+    /// reflect far more than a tag antenna).
+    pub relative_amp: f64,
+}
+
+/// A moving target in the scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoverSpec {
+    /// Range at frame start, metres.
+    pub range_m: f64,
+    /// Radial velocity, m/s.
+    pub velocity_mps: f64,
+    /// Amplitude relative to the tag.
+    pub relative_amp: f64,
+}
+
+/// One ISAC scenario: tag deployment plus environment.
+#[derive(Debug, Clone)]
+pub struct IsacScenario {
+    /// Tag range from the radar, metres.
+    pub tag_range_m: f64,
+    /// Tag modulation (subcarrier) frequency, Hz.
+    pub tag_mod_freq_hz: f64,
+    /// Uplink bits the tag transmits during the frame (empty = beacon only).
+    pub uplink_bits: Vec<bool>,
+    /// Uplink scheme.
+    pub uplink_scheme: UplinkScheme,
+    /// Uplink bit duration, s.
+    pub uplink_bit_duration_s: f64,
+    /// Static clutter.
+    pub clutter: Vec<ClutterSpec>,
+    /// Moving targets.
+    pub movers: Vec<MoverSpec>,
+}
+
+impl IsacScenario {
+    /// A clean single-tag scenario with a beacon subcarrier.
+    pub fn single_tag(range_m: f64, mod_freq_hz: f64) -> Self {
+        IsacScenario {
+            tag_range_m: range_m,
+            tag_mod_freq_hz: mod_freq_hz,
+            uplink_bits: Vec::new(),
+            uplink_scheme: UplinkScheme::Ook {
+                freq_hz: mod_freq_hz,
+            },
+            uplink_bit_duration_s: 32.0 * 120e-6,
+            clutter: Vec::new(),
+            movers: Vec::new(),
+        }
+    }
+
+    /// The paper's office: several strong static reflectors.
+    pub fn with_office_clutter(mut self) -> Self {
+        self.clutter = vec![
+            ClutterSpec {
+                range_m: 1.2,
+                relative_amp: 8.0,
+            },
+            ClutterSpec {
+                range_m: 3.4,
+                relative_amp: 6.0,
+            },
+            ClutterSpec {
+                range_m: 8.8,
+                relative_amp: 12.0,
+            },
+        ];
+        self
+    }
+}
+
+/// Everything one integrated frame produced.
+#[derive(Debug, Clone)]
+pub struct IsacOutcome {
+    /// Downlink result at the tag.
+    pub downlink: FrameOutcome,
+    /// Tag localization at the radar (None = not found).
+    pub location: Option<TagLocation>,
+    /// Demodulated uplink bits (None = no bits requested or frame too short).
+    pub uplink_bits: Option<Vec<bool>>,
+    /// CFAR detections from the sensing path (background *not* subtracted).
+    pub detections: Vec<Detection>,
+}
+
+/// Runs one integrated frame.
+pub fn run_isac_frame(
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+) -> IsacOutcome {
+    let packet = DownlinkPacket::new(payload.to_vec());
+    let (train, _symbols, _) = isac_frame(
+        &packet,
+        &sys.alphabet,
+        sys.radar.t_period,
+        sys.frame_chirps,
+    )
+    .expect("alphabet durations satisfy the duty constraint by construction");
+
+    // --- Tag side: decode the downlink. ---
+    let mut tag_noise = NoiseSource::new(seed);
+    let snr_db = sys.downlink_snr_at(scenario.tag_range_m);
+    let adc_stream = sys
+        .front_end
+        .capture_train(&train, snr_db, 0.0, &mut tag_noise);
+    let decoder = DownlinkDecoder::new(sys.nominal_decider());
+    let downlink = match decoder.decode(&adc_stream, Some(payload.len())) {
+        Ok(result) => FrameOutcome {
+            sent: payload.to_vec(),
+            received: result.payload.unwrap_or_default(),
+            parsed: true,
+        },
+        Err(_) => FrameOutcome {
+            sent: payload.to_vec(),
+            received: Vec::new(),
+            parsed: false,
+        },
+    };
+
+    // --- Radar side: scene, dechirp, process. ---
+    let tag_amp = sys.tag_if_amplitude(scenario.tag_range_m);
+    let modulation = if scenario.uplink_bits.is_empty() {
+        TagModulation::Subcarrier {
+            freq_hz: scenario.tag_mod_freq_hz,
+            duty: 0.5,
+        }
+    } else {
+        match scenario.uplink_scheme {
+            UplinkScheme::Ook { freq_hz } => TagModulation::OokBits {
+                freq_hz,
+                bit_duration_s: scenario.uplink_bit_duration_s,
+                bits: scenario.uplink_bits.clone(),
+            },
+            UplinkScheme::Fsk { freq0_hz, freq1_hz } => TagModulation::FskBits {
+                freq0_hz,
+                freq1_hz,
+                bit_duration_s: scenario.uplink_bit_duration_s,
+                bits: scenario.uplink_bits.clone(),
+            },
+        }
+    };
+    let mut scene = Scene::new().with(Scatterer {
+        range_m: scenario.tag_range_m,
+        azimuth_rad: 0.0,
+        velocity_mps: 0.0,
+        amplitude: tag_amp,
+        modulation,
+        leak: 0.01,
+    });
+    for c in &scenario.clutter {
+        scene = scene.with(Scatterer::clutter(c.range_m, c.relative_amp * tag_amp));
+    }
+    for m in &scenario.movers {
+        scene = scene.with(Scatterer::mover(
+            m.range_m,
+            m.velocity_mps,
+            m.relative_amp * tag_amp,
+        ));
+    }
+
+    let rx = IfReceiver {
+        sample_rate_hz: sys.rx.if_sample_rate,
+        noise_sigma: 1.0,
+    };
+    let mut if_noise = NoiseSource::new(seed ^ 0x5EED_0F1F_2F3F);
+    let if_data = rx.dechirp_train(&train, &scene, 0.0, &mut if_noise);
+
+    // Comms/localization path (background subtracted).
+    let frame = align_frame(&sys.rx, &train, &if_data);
+    let map = range_doppler(&frame);
+    let location = locate_tag(&map, scenario.tag_mod_freq_hz, 10.0);
+    let uplink_bits = if scenario.uplink_bits.is_empty() {
+        None
+    } else {
+        location.as_ref().and_then(|loc| {
+            demodulate(
+                &frame,
+                loc.range_bin,
+                scenario.uplink_scheme,
+                scenario.uplink_bit_duration_s,
+            )
+            .map(|d| d.bits)
+        })
+    };
+
+    // Sensing path (no background subtraction: static world is the signal).
+    let sensing_cfg = RxConfig {
+        background_subtraction: false,
+        ..sys.rx.clone()
+    };
+    let sensing_frame = align_frame(&sensing_cfg, &train, &if_data);
+    let n = sensing_frame.n_chirps() as f64;
+    let mean_power: Vec<f64> = (0..sensing_frame.range_grid.len())
+        .map(|r| {
+            sensing_frame
+                .profiles
+                .iter()
+                .map(|p| p[r].norm_sq())
+                .sum::<f64>()
+                / n
+        })
+        .collect();
+    let detections = CfarDetector::default().detect(&mean_power, &sensing_frame.range_grid);
+
+    IsacOutcome {
+        downlink,
+        location,
+        uplink_bits,
+        detections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mod_freq(bin: usize) -> f64 {
+        bin as f64 / (128.0 * 120e-6)
+    }
+
+    #[test]
+    fn integrated_frame_close_range() {
+        let sys = BiScatterSystem::paper_9ghz();
+        let scenario = IsacScenario::single_tag(3.0, mod_freq(16)).with_office_clutter();
+        let out = run_isac_frame(&sys, &scenario, b"CMD1", 1);
+        // Downlink decoded.
+        assert!(out.downlink.parsed);
+        assert_eq!(out.downlink.received, b"CMD1");
+        // Tag localized to cm level.
+        let loc = out.location.expect("tag located");
+        assert!((loc.range_m - 3.0).abs() < 0.10, "range {}", loc.range_m);
+        // Sensing sees the strong clutter.
+        assert!(!out.detections.is_empty());
+    }
+
+    #[test]
+    fn uplink_bits_roundtrip() {
+        let sys = BiScatterSystem::paper_9ghz();
+        let bits = vec![true, false, true, true];
+        let mut scenario = IsacScenario::single_tag(2.0, 1302.0);
+        scenario.uplink_bits = bits.clone();
+        scenario.uplink_scheme = UplinkScheme::Ook { freq_hz: 1302.0 };
+        let out = run_isac_frame(&sys, &scenario, b"GO", 2);
+        assert_eq!(out.uplink_bits.as_deref(), Some(&bits[..]));
+    }
+
+    #[test]
+    fn localization_works_during_communication() {
+        // The core ISAC claim (Fig. 16): varying slopes don't break
+        // localization.
+        let sys = BiScatterSystem::paper_9ghz();
+        let scenario = IsacScenario::single_tag(5.5, mod_freq(20));
+        // Long payload = most of the frame carries varying slopes.
+        let payload = vec![0xA5u8; 16];
+        let out = run_isac_frame(&sys, &scenario, &payload, 3);
+        let loc = out.location.expect("tag located during comms");
+        assert!((loc.range_m - 5.5).abs() < 0.10, "range {}", loc.range_m);
+    }
+
+    #[test]
+    fn far_tag_still_works_at_7m() {
+        let sys = BiScatterSystem::paper_9ghz();
+        let scenario = IsacScenario::single_tag(7.0, mod_freq(16));
+        let out = run_isac_frame(&sys, &scenario, b"FAR", 4);
+        assert!(out.downlink.parsed, "downlink at 7 m");
+        let loc = out.location.expect("tag located at 7 m");
+        assert!((loc.range_m - 7.0).abs() < 0.15, "range {}", loc.range_m);
+    }
+
+    #[test]
+    fn mover_detected_in_sensing_path() {
+        let sys = BiScatterSystem::paper_9ghz();
+        let mut scenario = IsacScenario::single_tag(4.0, mod_freq(16));
+        scenario.movers = vec![MoverSpec {
+            range_m: 6.0,
+            velocity_mps: -2.0,
+            relative_amp: 10.0,
+        }];
+        let out = run_isac_frame(&sys, &scenario, b"", 5);
+        let near_mover = out
+            .detections
+            .iter()
+            .any(|d| (d.range_m - 6.0).abs() < 0.3);
+        assert!(near_mover, "mover not detected: {:?}", out.detections);
+    }
+}

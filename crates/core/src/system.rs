@@ -1,0 +1,243 @@
+//! The assembled BiScatter system: one radar, one (or more) tags, and the
+//! link budgets connecting them.
+//!
+//! [`BiScatterSystem`] derives every dependent quantity from a radar
+//! configuration and a tag build (delay-line ΔL): the CSSK alphabet, the tag
+//! front-end, the downlink SNR-vs-distance budget (paper Fig. 13's x-axis)
+//! and the uplink post-processing budget (Fig. 15). All experiments and
+//! examples construct one of these.
+
+use biscatter_radar::configs::RadarConfig;
+use biscatter_radar::cssk::{CsskAlphabet, CsskError};
+use biscatter_radar::receiver::RxConfig;
+use biscatter_rf::channel::{DownlinkBudget, OneWayLink, TwoWayLink, UplinkBudget};
+use biscatter_rf::components::van_atta::VanAtta;
+use biscatter_rf::tag_frontend::TagFrontEnd;
+use biscatter_tag::demod::SymbolDecider;
+
+/// A complete radar+tag system description.
+///
+/// # Examples
+///
+/// ```
+/// use biscatter_core::system::BiScatterSystem;
+///
+/// let sys = BiScatterSystem::paper_9ghz();
+/// assert_eq!(sys.alphabet.n_data_symbols(), 32); // 5-bit CSSK
+/// // The paper's calibrated operating point: ~16-17 dB downlink SNR at 7 m.
+/// let snr = sys.downlink_snr_at(7.0);
+/// assert!(snr > 14.0 && snr < 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BiScatterSystem {
+    /// Radar hardware configuration.
+    pub radar: RadarConfig,
+    /// Receive-processing configuration.
+    pub rx: RxConfig,
+    /// CSSK symbol alphabet in use.
+    pub alphabet: CsskAlphabet,
+    /// Tag analog front-end.
+    pub front_end: TagFrontEnd,
+    /// Tag's retro-reflector.
+    pub van_atta: VanAtta,
+    /// Downlink link budget.
+    pub downlink_budget: DownlinkBudget,
+    /// Uplink link budget.
+    pub uplink_budget: UplinkBudget,
+    /// Number of chirps per ISAC frame (slow-time window).
+    pub frame_chirps: usize,
+}
+
+impl BiScatterSystem {
+    /// Builds a system from a radar config, tag delay-line difference (m)
+    /// and symbol width.
+    pub fn new(
+        radar: RadarConfig,
+        delta_l_m: f64,
+        bits_per_symbol: usize,
+    ) -> Result<Self, CsskError> {
+        let alphabet = radar.cssk_alphabet(bits_per_symbol)?;
+        let front_end = TagFrontEnd::coax_prototype(delta_l_m, radar.center_freq());
+        let van_atta = VanAtta::two_element();
+
+        let one_way = OneWayLink {
+            tx_power_dbm: radar.tx_power_dbm,
+            tx_gain_dbi: radar.antenna_gain_dbi,
+            rx_gain_dbi: 5.0, // tag patch element
+            freq_hz: radar.center_freq(),
+        };
+        let downlink_budget = DownlinkBudget {
+            link: one_way,
+            tag_insertion_loss_db: front_end.insertion_loss_db(radar.center_freq()),
+            // Output-referred decoder floor calibrated so the 9 GHz / 7 dBm
+            // prototype sees ~16 dB at 7 m (paper Fig. 13); the clock-quality
+            // factor captures the 24 GHz radar's cleaner synthesizer.
+            decoder_noise_floor_dbm: -75.8 + 10.0 * radar.clock_quality.log10(),
+        };
+
+        let frame_chirps = 128;
+        let uplink_budget = UplinkBudget {
+            link: TwoWayLink {
+                tx_power_dbm: radar.tx_power_dbm,
+                radar_gain_dbi: radar.antenna_gain_dbi,
+                freq_hz: radar.center_freq(),
+                tag_rcs_dbsm: van_atta.effective_rcs_dbsm(radar.center_freq()),
+                // Switch insertion (×2), square-wave modulation loss,
+                // polarization/pointing and implementation losses, lumped and
+                // calibrated against the paper's Fig. 15 operating points
+                // (per-chirp SNR ≈ 4–5 dB at 7 m).
+                misc_loss_db: 14.0,
+            },
+            radar_nf_db: radar.noise_figure_db,
+            if_bandwidth_hz: radar.if_sample_rate / 2.0,
+            // Coherent gain of the range FFT (~number of samples of the
+            // longest chirp) plus the slow-time FFT, minus window losses.
+            processing_gain_db: 10.0
+                * ((0.8 * radar.t_period * radar.if_sample_rate) * frame_chirps as f64
+                    / (1.5 * 1.5))
+                    .log10(),
+        };
+
+        let rx = RxConfig {
+            if_sample_rate: radar.if_sample_rate,
+            ..RxConfig::default()
+        };
+
+        Ok(BiScatterSystem {
+            radar,
+            rx,
+            alphabet,
+            front_end,
+            van_atta,
+            downlink_budget,
+            uplink_budget,
+            frame_chirps,
+        })
+    }
+
+    /// The paper's default 9 GHz setup: 1 GHz bandwidth, 45-inch ΔL, 5-bit
+    /// symbols.
+    pub fn paper_9ghz() -> Self {
+        BiScatterSystem::new(
+            RadarConfig::lmx2492_9ghz(),
+            biscatter_rf::inches_to_m(45.0),
+            5,
+        )
+        .expect("paper configuration is valid")
+    }
+
+    /// The paper's 24 GHz setup (250 MHz bandwidth). The narrower sweep
+    /// bounds the time-bandwidth product `B·ΔT`, so the operable alphabet is
+    /// smaller: 3-bit symbols with a 72-inch ΔL (cf. Fig. 12's bandwidth
+    /// trend and the Fig. 17 configuration note).
+    pub fn paper_24ghz() -> Self {
+        BiScatterSystem::new(
+            RadarConfig::tinyrad_24ghz(),
+            biscatter_rf::inches_to_m(72.0),
+            3,
+        )
+        .expect("paper configuration is valid")
+    }
+
+    /// Downlink beat-tone SNR at distance `d` (dB).
+    pub fn downlink_snr_at(&self, d_m: f64) -> f64 {
+        self.downlink_budget.snr_db(d_m)
+    }
+
+    /// Uplink post-processing SNR at distance `d` (dB) — after range FFT
+    /// *and* slow-time integration over the whole frame.
+    pub fn uplink_snr_at(&self, d_m: f64) -> f64 {
+        self.uplink_budget.snr_db(d_m)
+    }
+
+    /// Uplink per-chirp SNR at distance `d` (dB): after the range FFT but
+    /// before slow-time integration. This is the quantity comparable to the
+    /// paper's Fig. 15 (≈4 dB at 7 m).
+    pub fn uplink_snr_per_chirp(&self, d_m: f64) -> f64 {
+        self.uplink_snr_at(d_m) - 10.0 * (self.frame_chirps as f64 / 1.5).log10()
+    }
+
+    /// The tag's nominal symbol decider (uncalibrated).
+    pub fn nominal_decider(&self) -> SymbolDecider {
+        SymbolDecider::from_alphabet(
+            &self.alphabet,
+            self.front_end.pair.delta_t(),
+            self.front_end.adc.sample_rate_hz,
+        )
+    }
+
+    /// Relative IF amplitude for the tag at distance `d`, normalized so that
+    /// the radar's per-sample IF noise sigma is 1. Derived by removing the
+    /// processing gain from the post-processing budget:
+    /// `a = sqrt(2 · 10^((SNR_post − G_proc)/10))`.
+    pub fn tag_if_amplitude(&self, d_m: f64) -> f64 {
+        let snr_pre_db = self.uplink_snr_at(d_m) - self.uplink_budget.processing_gain_db;
+        (2.0 * 10f64.powf(snr_pre_db / 10.0)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_9ghz_budget_anchors() {
+        let sys = BiScatterSystem::paper_9ghz();
+        // ~16 dB downlink SNR at 7 m (paper Fig. 13).
+        let snr7 = sys.downlink_snr_at(7.0);
+        assert!((snr7 - 16.0).abs() < 3.0, "downlink at 7 m: {snr7} dB");
+        // Uplink stays usable (> 3 dB) at 7 m thanks to retro-reflectivity.
+        let up7 = sys.uplink_snr_per_chirp(7.0);
+        assert!(up7 > 3.0 && up7 < 10.0, "per-chirp uplink at 7 m: {up7} dB");
+        // And is much stronger close in.
+        assert!(sys.uplink_snr_per_chirp(0.5) > up7 + 30.0);
+    }
+
+    #[test]
+    fn downlink_snr_monotone() {
+        let sys = BiScatterSystem::paper_9ghz();
+        let mut last = f64::INFINITY;
+        for i in 1..=16 {
+            let snr = sys.downlink_snr_at(0.5 * i as f64);
+            assert!(snr < last);
+            last = snr;
+        }
+    }
+
+    #[test]
+    fn both_bands_construct() {
+        let a = BiScatterSystem::paper_9ghz();
+        let b = BiScatterSystem::paper_24ghz();
+        assert_eq!(a.alphabet.n_data_symbols(), 32);
+        assert_eq!(b.alphabet.n_data_symbols(), 8);
+        assert!(b.radar.f0 > a.radar.f0);
+    }
+
+    #[test]
+    fn tag_if_amplitude_decreases_with_distance() {
+        let sys = BiScatterSystem::paper_9ghz();
+        let near = sys.tag_if_amplitude(1.0);
+        let far = sys.tag_if_amplitude(7.0);
+        assert!(near > far);
+        // 1/d² amplitude scaling (d⁴ in power, halved in amplitude):
+        // 7x distance = 49x amplitude ratio.
+        assert!((near / far - 49.0).abs() < 1.0, "ratio {}", near / far);
+    }
+
+    #[test]
+    fn rejects_invalid_alphabet() {
+        let radar = RadarConfig::lmx2492_9ghz();
+        assert!(BiScatterSystem::new(radar, 0.5, 13).is_err());
+    }
+
+    #[test]
+    fn clock_quality_shifts_floor() {
+        let sys9 = BiScatterSystem::paper_9ghz();
+        let sys24 = BiScatterSystem::paper_24ghz();
+        // The 24 GHz clock-quality factor (0.8) lowers the effective floor.
+        assert!(
+            sys24.downlink_budget.decoder_noise_floor_dbm
+                < sys9.downlink_budget.decoder_noise_floor_dbm
+        );
+    }
+}

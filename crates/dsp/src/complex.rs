@@ -1,0 +1,304 @@
+//! A minimal complex-number type.
+//!
+//! The BiScatter simulation only needs double-precision complex arithmetic,
+//! so rather than pulling in an external crate we define [`Cpx`] here. The
+//! type is `Copy`, 16 bytes, and supports the usual field operations plus the
+//! handful of transcendental helpers the DSP code needs (`exp`, polar
+//! conversion, conjugation, magnitude).
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i*im` in double precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cpx {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Cpx = Cpx { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Cpx = Cpx { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Cpx = Cpx { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cpx { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Cpx { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r * e^{i*theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Cpx::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{i*theta}`: a unit phasor at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Cpx::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cpx::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re^2 + im^2` (cheaper than [`Cpx::abs`]).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^{self}`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Cpx::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Multiplicative inverse. Returns NaN components when `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sq();
+        Cpx::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Cpx::new(self.re * k, self.im * k)
+    }
+
+    /// Returns true if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns true if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn add(self, rhs: Cpx) -> Cpx {
+        Cpx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn sub(self, rhs: Cpx) -> Cpx {
+        Cpx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, rhs: Cpx) -> Cpx {
+        Cpx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Cpx {
+    type Output = Cpx;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1 by definition
+    fn div(self, rhs: Cpx) -> Cpx {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn neg(self) -> Cpx {
+        Cpx::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Cpx {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cpx) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Cpx {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cpx) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Cpx {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cpx) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, rhs: f64) -> Cpx {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Cpx> for f64 {
+    type Output = Cpx;
+    #[inline]
+    fn mul(self, rhs: Cpx) -> Cpx {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Cpx {
+    type Output = Cpx;
+    #[inline]
+    fn div(self, rhs: f64) -> Cpx {
+        Cpx::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl From<f64> for Cpx {
+    #[inline]
+    fn from(re: f64) -> Cpx {
+        Cpx::real(re)
+    }
+}
+
+impl std::fmt::Display for Cpx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Cpx, b: Cpx) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Cpx::new(1.5, -2.5);
+        let b = Cpx::new(-0.25, 4.0);
+        assert!(close(a + b - b, a));
+    }
+
+    #[test]
+    fn mul_matches_expansion() {
+        let a = Cpx::new(3.0, 2.0);
+        let b = Cpx::new(1.0, 7.0);
+        // (3+2i)(1+7i) = 3 + 21i + 2i + 14i^2 = -11 + 23i
+        assert!(close(a * b, Cpx::new(-11.0, 23.0)));
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        let a = Cpx::new(3.0, 2.0);
+        let b = Cpx::new(1.0, 7.0);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Cpx::I * Cpx::I, Cpx::real(-1.0)));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Cpx::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.41;
+            assert!((Cpx::cis(theta).abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn conj_negates_phase() {
+        let z = Cpx::from_polar(1.3, 0.9);
+        assert!((z.conj().arg() + 0.9).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Cpx::I * std::f64::consts::PI).exp();
+        assert!(close(z, Cpx::real(-1.0)));
+    }
+
+    #[test]
+    fn recip_of_zero_is_nan() {
+        assert!(Cpx::ZERO.recip().is_nan());
+    }
+
+    #[test]
+    fn norm_sq_matches_abs() {
+        let z = Cpx::new(-3.0, 4.0);
+        assert!((z.norm_sq() - 25.0).abs() < EPS);
+        assert!((z.abs() - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Cpx::new(1.0, -2.0);
+        assert!(close(2.0 * z, Cpx::new(2.0, -4.0)));
+        assert!(close(z * 2.0, Cpx::new(2.0, -4.0)));
+        assert!(close(z / 2.0, Cpx::new(0.5, -1.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cpx::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Cpx::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,50 @@
+//! # biscatter-dsp — digital signal processing substrate
+//!
+//! Self-contained DSP building blocks used throughout the BiScatter
+//! reproduction. Everything here is implemented from scratch (no external
+//! DSP dependencies): a complex-number type, FFTs (radix-2 and Bluestein for
+//! arbitrary lengths), window functions, the Goertzel algorithm, FIR/IIR
+//! filters, resampling, spectral estimation, statistics, and signal
+//! synthesis/noise generation.
+//!
+//! Design goals follow the smoltcp school: simplicity and robustness over
+//! cleverness, explicit data flow, and extensive documentation. All routines
+//! are pure functions or small stateful structs with no hidden globals, so
+//! they compose freely inside the higher-level radar/tag simulations.
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`complex`] | `Cpx` complex number type and arithmetic |
+//! | [`fft`] | radix-2 Cooley–Tukey and Bluestein FFT/IFFT, real-input helper |
+//! | [`window`] | Hann, Hamming, Blackman(-Harris), Kaiser, flat-top windows |
+//! | [`goertzel`] | single-bin DFT evaluation, sliding Goertzel, filter banks |
+//! | [`filter`] | windowed-sinc FIR design, biquad IIR, RC single-pole, moving average |
+//! | [`resample`] | linear interpolation, grid rescaling, decimation |
+//! | [`spectrum`] | periodogram, peak search, parabolic interpolation, noise floor, SNR |
+//! | [`stft`] | short-time Fourier transform / spectrogram |
+//! | [`stats`] | mean/variance, dB conversions, erfc/Q-function, theoretical BER |
+//! | [`signal`] | tone/chirp/square synthesis, AWGN, utility generators |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fft;
+pub mod filter;
+pub mod goertzel;
+pub mod resample;
+pub mod signal;
+pub mod spectrum;
+pub mod stft;
+pub mod stats;
+pub mod window;
+
+pub use complex::Cpx;
+
+/// Speed of light in vacuum, metres per second.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Two pi, the circle constant for phase arithmetic.
+pub const TAU: f64 = std::f64::consts::TAU;

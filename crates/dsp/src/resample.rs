@@ -1,0 +1,207 @@
+//! Resampling and interpolation.
+//!
+//! The radar's IF-correction stage (paper §3.3) converts each chirp's FFT
+//! bins to ranges and then *rescales* profiles from chirps of different
+//! slopes onto a common range grid using pairwise linear interpolation —
+//! [`resample_to_grid`] is that operation. The tag's acquisition stage uses
+//! [`linear_interp`] when estimating the chirp period from fractional peaks.
+
+/// Linearly interpolates `samples` at fractional index `idx`.
+///
+/// Indices outside `[0, n-1]` clamp to the endpoints. Returns 0 for an empty
+/// input.
+pub fn linear_interp(samples: &[f64], idx: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let last = (samples.len() - 1) as f64;
+    let x = idx.clamp(0.0, last);
+    let i0 = x.floor() as usize;
+    let i1 = (i0 + 1).min(samples.len() - 1);
+    let frac = x - i0 as f64;
+    samples[i0] * (1.0 - frac) + samples[i1] * frac
+}
+
+/// Resamples a profile defined on `src_grid` (strictly increasing x values)
+/// onto `dst_grid` by pairwise linear interpolation. Destination points
+/// outside the source span take the nearest endpoint value.
+///
+/// # Panics
+/// Panics if `src_grid` and `values` lengths differ.
+pub fn resample_to_grid(src_grid: &[f64], values: &[f64], dst_grid: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        src_grid.len(),
+        values.len(),
+        "grid/value length mismatch"
+    );
+    if src_grid.is_empty() {
+        return vec![0.0; dst_grid.len()];
+    }
+    dst_grid
+        .iter()
+        .map(|&x| {
+            // Binary search for the bracketing interval.
+            match src_grid.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+                Ok(i) => values[i],
+                Err(0) => values[0],
+                Err(i) if i >= src_grid.len() => values[values.len() - 1],
+                Err(i) => {
+                    let x0 = src_grid[i - 1];
+                    let x1 = src_grid[i];
+                    let t = (x - x0) / (x1 - x0);
+                    values[i - 1] * (1.0 - t) + values[i] * t
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds a uniform grid of `n` points spanning `[start, stop]` inclusive.
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (stop - start) / (n - 1) as f64;
+            (0..n).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+/// Decimates by an integer factor, keeping every `factor`-th sample starting
+/// from index 0. The caller is responsible for anti-alias filtering first.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn decimate(samples: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be nonzero");
+    samples.iter().copied().step_by(factor).collect()
+}
+
+/// Resamples `samples` (assumed uniformly spaced) to exactly `new_len` points
+/// by linear interpolation of the index axis.
+pub fn resample_len(samples: &[f64], new_len: usize) -> Vec<f64> {
+    if new_len == 0 || samples.is_empty() {
+        return Vec::new();
+    }
+    if new_len == 1 {
+        return vec![samples[0]];
+    }
+    let scale = (samples.len() - 1) as f64 / (new_len - 1) as f64;
+    (0..new_len)
+        .map(|i| linear_interp(samples, i as f64 * scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_exact_indices() {
+        let x = [1.0, 3.0, 5.0];
+        assert_eq!(linear_interp(&x, 0.0), 1.0);
+        assert_eq!(linear_interp(&x, 1.0), 3.0);
+        assert_eq!(linear_interp(&x, 2.0), 5.0);
+    }
+
+    #[test]
+    fn interp_midpoints() {
+        let x = [1.0, 3.0, 5.0];
+        assert_eq!(linear_interp(&x, 0.5), 2.0);
+        assert_eq!(linear_interp(&x, 1.25), 3.5);
+    }
+
+    #[test]
+    fn interp_clamps() {
+        let x = [1.0, 3.0];
+        assert_eq!(linear_interp(&x, -5.0), 1.0);
+        assert_eq!(linear_interp(&x, 99.0), 3.0);
+    }
+
+    #[test]
+    fn interp_empty() {
+        assert_eq!(linear_interp(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn grid_resample_identity() {
+        let g = linspace(0.0, 10.0, 11);
+        let v: Vec<f64> = g.iter().map(|x| x * x).collect();
+        let out = resample_to_grid(&g, &v, &g);
+        for (a, b) in v.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_resample_linear_exact() {
+        // A linear function is reproduced exactly by linear interpolation.
+        let src = linspace(0.0, 1.0, 5);
+        let v: Vec<f64> = src.iter().map(|x| 2.0 * x + 1.0).collect();
+        let dst = linspace(0.0, 1.0, 17);
+        let out = resample_to_grid(&src, &v, &dst);
+        for (x, y) in dst.iter().zip(&out) {
+            assert!((y - (2.0 * x + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_resample_extrapolation_clamps() {
+        let src = [1.0, 2.0];
+        let v = [10.0, 20.0];
+        let out = resample_to_grid(&src, &v, &[0.0, 3.0]);
+        assert_eq!(out, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn grid_resample_different_grids() {
+        // Emulates the IF-correction use: two chirps with different R_max
+        // produce grids of different spacing; resampling aligns them.
+        let grid_a = linspace(0.0, 30.0, 64); // long-chirp grid
+        let grid_b = linspace(0.0, 10.0, 64); // short-chirp grid
+        let profile_a: Vec<f64> = grid_a.iter().map(|r| (-(r - 5.0).powi(2)).exp()).collect();
+        let on_b = resample_to_grid(&grid_a, &profile_a, &grid_b);
+        // The Gaussian peak at r = 5 must survive the regridding.
+        let (peak_idx, _) = on_b
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let peak_r = grid_b[peak_idx];
+        assert!((peak_r - 5.0).abs() < 0.5, "peak moved to {peak_r}");
+    }
+
+    #[test]
+    fn linspace_basics() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(2.0, 9.0, 1), vec![2.0]);
+        let g = linspace(0.0, 1.0, 3);
+        assert_eq!(g, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn decimate_keeps_every_kth() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(decimate(&x, 2), vec![0.0, 2.0, 4.0]);
+        assert_eq!(decimate(&x, 3), vec![0.0, 3.0]);
+        assert_eq!(decimate(&x, 1).len(), 6);
+    }
+
+    #[test]
+    fn resample_len_roundtrip() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let up = resample_len(&x, 19);
+        let down = resample_len(&up, 10);
+        for (a, b) in x.iter().zip(&down) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_len_edges() {
+        assert!(resample_len(&[], 5).is_empty());
+        assert!(resample_len(&[1.0], 0).is_empty());
+        assert_eq!(resample_len(&[1.0, 2.0], 1), vec![1.0]);
+    }
+}

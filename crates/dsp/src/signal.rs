@@ -1,0 +1,262 @@
+//! Signal synthesis and noise generation.
+//!
+//! Deterministic generators (tones, linear chirps, square waves) plus a
+//! self-contained Gaussian noise source. The noise source wraps a small
+//! xorshift PRNG with a Box–Muller transform so that every Monte-Carlo run is
+//! reproducible from a `u64` seed without threading `rand` generics through
+//! the simulation layers (the higher-level crates that *do* need
+//! distributions use the `rand` crate; this type exists for the hot loops).
+
+use crate::TAU;
+
+/// Generates `n` samples of `amp * cos(2 pi f t + phase)` at sample rate `fs`.
+pub fn tone(n: usize, f: f64, fs: f64, amp: f64, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| amp * (TAU * f * i as f64 / fs + phase).cos())
+        .collect()
+}
+
+/// Generates `n` samples of a real linear chirp starting at `f0` with sweep
+/// rate `slope` Hz/s: `cos(2 pi (f0 t + slope t^2 / 2) + phase)`.
+///
+/// The instantaneous frequency at time `t` is `f0 + slope * t` — note the
+/// conventional `t^2/2` phase term (see DESIGN.md §5 on the paper's eq. 1).
+pub fn chirp(n: usize, f0: f64, slope: f64, fs: f64, amp: f64, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            amp * (TAU * (f0 * t + 0.5 * slope * t * t) + phase).cos()
+        })
+        .collect()
+}
+
+/// Generates `n` samples of a unipolar square wave (values 0/1) with the
+/// given frequency, sample rate, and duty cycle in `(0, 1)`.
+pub fn square_wave(n: usize, f: f64, fs: f64, duty: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let phase = (f * i as f64 / fs).fract();
+            if phase < duty {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Generates a bipolar (±1) square wave.
+pub fn square_wave_bipolar(n: usize, f: f64, fs: f64) -> Vec<f64> {
+    square_wave(n, f, fs, 0.5)
+        .into_iter()
+        .map(|v| 2.0 * v - 1.0)
+        .collect()
+}
+
+/// A seeded Gaussian noise generator (xorshift64* + Box–Muller).
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    state: u64,
+    cached: Option<f64>,
+}
+
+impl NoiseSource {
+    /// Creates a generator from a nonzero seed (zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        NoiseSource {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+            cached: None,
+        }
+    }
+
+    /// Next raw u64 from xorshift64*.
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform sample in `(0, 1)` (never exactly 0, safe for `ln`).
+    pub fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
+    }
+
+    /// Standard normal sample via Box–Muller (caches the second deviate).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        let u1 = self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = TAU * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Gaussian sample with the given standard deviation.
+    pub fn gaussian_scaled(&mut self, sigma: f64) -> f64 {
+        self.gaussian() * sigma
+    }
+
+    /// Fills `n` samples of white Gaussian noise with standard deviation
+    /// `sigma`.
+    pub fn awgn(&mut self, n: usize, sigma: f64) -> Vec<f64> {
+        (0..n).map(|_| self.gaussian() * sigma).collect()
+    }
+
+    /// Adds white Gaussian noise with standard deviation `sigma` to `signal`
+    /// in place.
+    pub fn add_awgn(&mut self, signal: &mut [f64], sigma: f64) {
+        for s in signal.iter_mut() {
+            *s += self.gaussian() * sigma;
+        }
+    }
+}
+
+/// Noise standard deviation that yields the requested SNR (dB) against a
+/// signal of the given RMS level: `sigma = rms / 10^(snr/20)`.
+pub fn sigma_for_snr(signal_rms: f64, snr_db: f64) -> f64 {
+    signal_rms / 10f64.powf(snr_db / 20.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, rms, std_dev};
+
+    #[test]
+    fn tone_properties() {
+        let x = tone(1000, 50.0, 1000.0, 2.0, 0.0);
+        assert_eq!(x[0], 2.0);
+        // RMS of a sinusoid is amp/sqrt(2).
+        assert!((rms(&x) - 2.0 / 2f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn chirp_instantaneous_frequency() {
+        // Verify numerically: phase difference between adjacent samples
+        // approximates instantaneous frequency f0 + slope*t.
+        let fs = 1e6;
+        let f0 = 1e3;
+        let slope = 1e8; // 100 Hz per microsecond
+        let n = 1000;
+        let x = chirp(n, f0, slope, fs, 1.0, 0.0);
+        // Find zero crossings and check spacing shrinks over time.
+        let crossings: Vec<usize> = (1..n)
+            .filter(|&i| x[i - 1] < 0.0 && x[i] >= 0.0)
+            .collect();
+        assert!(crossings.len() > 3);
+        let first_gap = crossings[1] - crossings[0];
+        let last_gap = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];
+        assert!(
+            last_gap < first_gap,
+            "chirp should speed up: {first_gap} -> {last_gap}"
+        );
+    }
+
+    #[test]
+    fn chirp_matches_tone_when_slope_zero() {
+        let a = chirp(256, 100.0, 0.0, 1000.0, 1.0, 0.3);
+        let b = tone(256, 100.0, 1000.0, 1.0, 0.3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn square_wave_duty_cycle() {
+        let x = square_wave(1000, 10.0, 1000.0, 0.25);
+        let high = x.iter().filter(|&&v| v == 1.0).count();
+        assert!((high as f64 / 1000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn square_wave_bipolar_is_pm_one() {
+        let x = square_wave_bipolar(100, 5.0, 100.0);
+        assert!(x.iter().all(|&v| v == 1.0 || v == -1.0));
+        assert!((mean(&x)).abs() < 0.05);
+    }
+
+    #[test]
+    fn noise_is_reproducible() {
+        let mut a = NoiseSource::new(42);
+        let mut b = NoiseSource::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.gaussian(), b.gaussian());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseSource::new(1);
+        let mut b = NoiseSource::new(2);
+        let same = (0..32).filter(|_| a.gaussian() == b.gaussian()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut src = NoiseSource::new(7);
+        let x = src.awgn(200_000, 1.0);
+        assert!(mean(&x).abs() < 0.01, "mean {}", mean(&x));
+        assert!((std_dev(&x) - 1.0).abs() < 0.01, "std {}", std_dev(&x));
+    }
+
+    #[test]
+    fn gaussian_scaled_std() {
+        let mut src = NoiseSource::new(9);
+        let x: Vec<f64> = (0..100_000).map(|_| src.gaussian_scaled(3.0)).collect();
+        assert!((std_dev(&x) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut src = NoiseSource::new(11);
+        for _ in 0..10_000 {
+            let u = src.uniform();
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn add_awgn_changes_signal() {
+        let mut src = NoiseSource::new(3);
+        let mut x = vec![0.0; 1000];
+        src.add_awgn(&mut x, 0.5);
+        assert!((std_dev(&x) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn sigma_for_snr_values() {
+        // 0 dB: sigma == rms.
+        assert!((sigma_for_snr(1.0, 0.0) - 1.0).abs() < 1e-12);
+        // 20 dB: sigma = rms / 10.
+        assert!((sigma_for_snr(1.0, 20.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_snr_matches_request() {
+        let fs = 10_000.0;
+        let sig = tone(50_000, 1000.0, fs, 1.0, 0.0);
+        let target_db = 10.0;
+        let sigma = sigma_for_snr(rms(&sig), target_db);
+        let mut src = NoiseSource::new(5);
+        let noise = src.awgn(sig.len(), sigma);
+        let p_sig = rms(&sig).powi(2);
+        let p_noise = rms(&noise).powi(2);
+        let snr_db = 10.0 * (p_sig / p_noise).log10();
+        assert!((snr_db - target_db).abs() < 0.2, "snr {snr_db}");
+    }
+
+    #[test]
+    fn zero_seed_remapped() {
+        let mut src = NoiseSource::new(0);
+        // Must not get stuck at zero.
+        assert!(src.gaussian().is_finite());
+        assert_ne!(src.uniform(), src.uniform());
+    }
+}

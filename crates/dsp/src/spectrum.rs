@@ -1,0 +1,309 @@
+//! Spectral estimation: periodograms, peak search with parabolic refinement,
+//! noise-floor estimation, and in-band SNR measurement.
+//!
+//! These are the measurement primitives behind both ends of the link: the tag
+//! finds its beat-frequency peak here, and the radar measures uplink SNR and
+//! refines the tag's range bin to sub-bin (centimetre) precision with
+//! [`parabolic_peak`].
+
+use crate::fft::{bin_to_freq, rfft};
+use crate::window::WindowKind;
+
+/// One-sided power spectrum of a real signal, optionally windowed.
+///
+/// Returns `(freqs_hz, power)` with `n/2 + 1` points. Power is the squared
+/// magnitude normalized by `N^2` and the window's coherent gain so that a
+/// full-scale tone reads ~`0.25` (amplitude²/4) in its bin independent of
+/// length.
+pub fn periodogram(signal: &[f64], fs: f64, window: WindowKind) -> (Vec<f64>, Vec<f64>) {
+    let n = signal.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let w = window.coefficients(n);
+    let cg = window.coherent_gain(n);
+    let buf: Vec<f64> = signal.iter().zip(&w).map(|(&s, &wi)| s * wi).collect();
+    let spec = rfft(&buf);
+    let half = n / 2 + 1;
+    let norm = 1.0 / (n as f64 * cg);
+    let power: Vec<f64> = spec
+        .iter()
+        .take(half)
+        .map(|z| {
+            let m = z.abs() * norm;
+            m * m
+        })
+        .collect();
+    let freqs: Vec<f64> = (0..half).map(|k| bin_to_freq(k, n, fs)).collect();
+    (freqs, power)
+}
+
+/// A detected spectral peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Integer bin index of the local maximum.
+    pub bin: usize,
+    /// Sub-bin refined position (fractional bins) from parabolic interpolation.
+    pub refined_bin: f64,
+    /// Power at the (interpolated) peak.
+    pub power: f64,
+}
+
+/// Finds the strongest peak in `power`, refined with parabolic interpolation.
+/// Returns `None` if the spectrum has fewer than 1 point.
+pub fn find_peak(power: &[f64]) -> Option<Peak> {
+    if power.is_empty() {
+        return None;
+    }
+    let (bin, _) = power
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+    Some(refine_peak(power, bin))
+}
+
+/// Finds the strongest peak restricted to bins `[lo, hi]` (inclusive, clamped).
+pub fn find_peak_in_band(power: &[f64], lo: usize, hi: usize) -> Option<Peak> {
+    if power.is_empty() || lo > hi {
+        return None;
+    }
+    let hi = hi.min(power.len() - 1);
+    if lo > hi {
+        return None;
+    }
+    let (bin, _) = power[lo..=hi]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+    Some(refine_peak(power, lo + bin))
+}
+
+/// Finds all local maxima above `threshold`, each parabolic-refined, sorted
+/// by descending power.
+pub fn find_peaks_above(power: &[f64], threshold: f64) -> Vec<Peak> {
+    let n = power.len();
+    let mut peaks = Vec::new();
+    for i in 0..n {
+        let left = if i > 0 { power[i - 1] } else { f64::NEG_INFINITY };
+        let right = if i + 1 < n {
+            power[i + 1]
+        } else {
+            f64::NEG_INFINITY
+        };
+        if power[i] >= threshold && power[i] >= left && power[i] > right {
+            peaks.push(refine_peak(power, i));
+        }
+    }
+    peaks.sort_by(|a, b| b.power.partial_cmp(&a.power).unwrap());
+    peaks
+}
+
+/// Parabolic (quadratic) interpolation of a peak at integer `bin`.
+///
+/// Fits a parabola through the peak bin and its neighbours; the refined
+/// position is `bin + 0.5 (L - R) / (L - 2C + R)` where `L,C,R` are the
+/// neighbouring powers. At array edges the integer bin is returned as-is.
+pub fn parabolic_peak(power: &[f64], bin: usize) -> (f64, f64) {
+    let p = refine_peak(power, bin);
+    (p.refined_bin, p.power)
+}
+
+fn refine_peak(power: &[f64], bin: usize) -> Peak {
+    let n = power.len();
+    if bin == 0 || bin + 1 >= n {
+        return Peak {
+            bin,
+            refined_bin: bin as f64,
+            power: power[bin],
+        };
+    }
+    let l = power[bin - 1];
+    let c = power[bin];
+    let r = power[bin + 1];
+    let denom = l - 2.0 * c + r;
+    if denom.abs() < 1e-300 {
+        return Peak {
+            bin,
+            refined_bin: bin as f64,
+            power: c,
+        };
+    }
+    let delta = 0.5 * (l - r) / denom;
+    let delta = delta.clamp(-0.5, 0.5);
+    let p = c - 0.25 * (l - r) * delta;
+    Peak {
+        bin,
+        refined_bin: bin as f64 + delta,
+        power: p,
+    }
+}
+
+/// Median-based noise-floor estimate of a power spectrum.
+///
+/// The median is robust to a small number of strong peaks; for a chi-squared
+/// (2 dof) noise spectrum the median underestimates the mean by `ln 2`, which
+/// is corrected here.
+pub fn noise_floor(power: &[f64]) -> f64 {
+    if power.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = power.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    median / std::f64::consts::LN_2
+}
+
+/// SNR (linear) of the strongest tone in `power`: peak power over the
+/// median-estimated noise floor. Returns `None` on an empty spectrum.
+pub fn tone_snr(power: &[f64]) -> Option<f64> {
+    let peak = find_peak(power)?;
+    let floor = noise_floor(power);
+    if floor <= 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(peak.power / floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TAU;
+
+    fn tone(n: usize, f: f64, fs: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (TAU * f * i as f64 / fs).cos())
+            .collect()
+    }
+
+    #[test]
+    fn periodogram_peak_at_tone() {
+        let fs = 1000.0;
+        let n = 1024;
+        let x = tone(n, 125.0, fs, 1.0);
+        let (freqs, power) = periodogram(&x, fs, WindowKind::Hann);
+        let p = find_peak(&power).unwrap();
+        let f_est = freqs[1] * p.refined_bin;
+        assert!((f_est - 125.0).abs() < 0.5, "estimated {f_est}");
+    }
+
+    #[test]
+    fn periodogram_amplitude_calibrated() {
+        // Bin-centered tone of amplitude A should read A^2/4 in its bin.
+        let fs = 1024.0;
+        let n = 1024;
+        let x = tone(n, 128.0, fs, 2.0);
+        let (_, power) = periodogram(&x, fs, WindowKind::Rect);
+        let p = find_peak(&power).unwrap();
+        assert!((p.power - 1.0).abs() < 1e-6, "got {}", p.power);
+    }
+
+    #[test]
+    fn periodogram_empty() {
+        let (f, p) = periodogram(&[], 100.0, WindowKind::Hann);
+        assert!(f.is_empty() && p.is_empty());
+    }
+
+    #[test]
+    fn parabolic_refines_off_bin_tone() {
+        let fs = 1000.0;
+        let n = 512;
+        // Tone between bins: 100.7 Hz with bin spacing ~1.95 Hz.
+        let x = tone(n, 100.7, fs, 1.0);
+        let (freqs, power) = periodogram(&x, fs, WindowKind::Hann);
+        let p = find_peak(&power).unwrap();
+        let df = freqs[1];
+        let f_est = p.refined_bin * df;
+        assert!(
+            (f_est - 100.7).abs() < 0.3,
+            "refined estimate {f_est} too far"
+        );
+        // The refinement must beat the raw bin.
+        let f_raw = p.bin as f64 * df;
+        assert!((f_est - 100.7).abs() <= (f_raw - 100.7).abs() + 1e-12);
+    }
+
+    #[test]
+    fn find_peak_in_band_restricts() {
+        let mut power = vec![0.0; 100];
+        power[10] = 5.0;
+        power[50] = 10.0;
+        let p = find_peak_in_band(&power, 0, 30).unwrap();
+        assert_eq!(p.bin, 10);
+        let p = find_peak_in_band(&power, 30, 99).unwrap();
+        assert_eq!(p.bin, 50);
+        assert!(find_peak_in_band(&power, 80, 20).is_none());
+    }
+
+    #[test]
+    fn find_peaks_above_orders_by_power() {
+        let mut power = vec![0.1; 64];
+        power[10] = 3.0;
+        power[30] = 7.0;
+        power[55] = 1.0;
+        let peaks = find_peaks_above(&power, 0.5);
+        assert_eq!(peaks.len(), 3);
+        assert_eq!(peaks[0].bin, 30);
+        assert_eq!(peaks[1].bin, 10);
+        assert_eq!(peaks[2].bin, 55);
+    }
+
+    #[test]
+    fn peak_at_edge_not_refined() {
+        let power = vec![5.0, 1.0, 0.5];
+        let p = find_peak(&power).unwrap();
+        assert_eq!(p.bin, 0);
+        assert_eq!(p.refined_bin, 0.0);
+    }
+
+    #[test]
+    fn noise_floor_of_flat_spectrum() {
+        let power = vec![2.0; 101];
+        let nf = noise_floor(&power);
+        // Median = 2.0, corrected by ln2.
+        assert!((nf - 2.0 / std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_floor_robust_to_peaks() {
+        let mut power = vec![1.0; 1000];
+        power[500] = 1e9; // one huge peak shouldn't move the floor much
+        let nf = noise_floor(&power);
+        assert!(nf < 2.0);
+    }
+
+    #[test]
+    fn tone_snr_increases_with_amplitude() {
+        let fs = 1000.0;
+        let n = 1024;
+        // Deterministic pseudo-noise.
+        let noise: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5)
+            .collect();
+        let weak: Vec<f64> = tone(n, 200.0, fs, 0.5)
+            .iter()
+            .zip(&noise)
+            .map(|(s, n)| s + n)
+            .collect();
+        let strong: Vec<f64> = tone(n, 200.0, fs, 5.0)
+            .iter()
+            .zip(&noise)
+            .map(|(s, n)| s + n)
+            .collect();
+        let (_, pw) = periodogram(&weak, fs, WindowKind::Hann);
+        let (_, ps) = periodogram(&strong, fs, WindowKind::Hann);
+        let snr_w = tone_snr(&pw).unwrap();
+        let snr_s = tone_snr(&ps).unwrap();
+        assert!(snr_s > snr_w * 10.0);
+    }
+
+    #[test]
+    fn empty_spectrum_helpers() {
+        assert!(find_peak(&[]).is_none());
+        assert_eq!(noise_floor(&[]), 0.0);
+        assert!(tone_snr(&[]).is_none());
+    }
+}

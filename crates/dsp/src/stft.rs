@@ -1,0 +1,176 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! The visualization behind the paper's Fig. 6: the tag's envelope output is
+//! a time–frequency object (beat tones gated by inter-chirp delays), and the
+//! decoder's window-size/alignment choices are statements about where to cut
+//! this plane. The STFT is also used by the diagnostics in the examples and
+//! by tests that verify the beat tone's time-frequency structure.
+
+use crate::fft::{next_pow2, rfft};
+use crate::window::WindowKind;
+
+/// A magnitude spectrogram.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// `power[frame][bin]`, one row per time frame, `n_fft/2 + 1` bins.
+    pub power: Vec<Vec<f64>>,
+    /// Seconds per frame hop.
+    pub hop_s: f64,
+    /// Hz per frequency bin.
+    pub bin_hz: f64,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn n_frames(&self) -> usize {
+        self.power.len()
+    }
+
+    /// Number of frequency bins per frame.
+    pub fn n_bins(&self) -> usize {
+        self.power.first().map_or(0, |f| f.len())
+    }
+
+    /// Center time of frame `i`, seconds.
+    pub fn frame_time(&self, i: usize) -> f64 {
+        i as f64 * self.hop_s
+    }
+
+    /// The dominant frequency of frame `i` (Hz), or `None` for an empty
+    /// frame.
+    pub fn peak_freq(&self, i: usize) -> Option<f64> {
+        let frame = self.power.get(i)?;
+        let (bin, &p) = frame
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+        if p <= 0.0 {
+            return None;
+        }
+        Some(bin as f64 * self.bin_hz)
+    }
+
+    /// Total power of frame `i`.
+    pub fn frame_power(&self, i: usize) -> f64 {
+        self.power.get(i).map_or(0.0, |f| f.iter().sum())
+    }
+}
+
+/// Computes the magnitude-squared STFT of `signal`.
+///
+/// * `window_len` — samples per analysis window,
+/// * `hop` — samples between window starts (≤ `window_len` for overlap),
+/// * the FFT length is the next power of two ≥ `window_len`.
+///
+/// # Panics
+/// Panics if `window_len` or `hop` is zero.
+pub fn stft(
+    signal: &[f64],
+    fs: f64,
+    window_len: usize,
+    hop: usize,
+    window: WindowKind,
+) -> Spectrogram {
+    assert!(window_len > 0, "window_len must be nonzero");
+    assert!(hop > 0, "hop must be nonzero");
+    let n_fft = next_pow2(window_len);
+    let coeffs = window.coefficients(window_len);
+    let cg = window.coherent_gain(window_len);
+    let norm = 1.0 / (window_len as f64 * cg);
+
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + window_len <= signal.len() {
+        let mut buf = vec![0.0f64; n_fft];
+        // Remove the window mean (the envelope rides on a DC level).
+        let mean = signal[start..start + window_len].iter().sum::<f64>() / window_len as f64;
+        for (i, b) in buf.iter_mut().take(window_len).enumerate() {
+            *b = (signal[start + i] - mean) * coeffs[i];
+        }
+        let spec = rfft(&buf);
+        frames.push(
+            spec.iter()
+                .take(n_fft / 2 + 1)
+                .map(|z| {
+                    let m = z.abs() * norm;
+                    m * m
+                })
+                .collect(),
+        );
+        start += hop;
+    }
+    Spectrogram {
+        power: frames,
+        hop_s: hop as f64 / fs,
+        bin_hz: fs / n_fft as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{chirp, tone};
+
+    #[test]
+    fn stationary_tone_constant_peak() {
+        let fs = 10_000.0;
+        let x = tone(4000, 1000.0, fs, 1.0, 0.0);
+        let sg = stft(&x, fs, 256, 128, WindowKind::Hann);
+        assert!(sg.n_frames() > 20);
+        for i in 0..sg.n_frames() {
+            let f = sg.peak_freq(i).unwrap();
+            assert!((f - 1000.0).abs() < 60.0, "frame {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn chirp_peak_frequency_rises() {
+        let fs = 100_000.0;
+        // 1 kHz → 21 kHz over 100 ms.
+        let x = chirp(10_000, 1000.0, 200_000.0, fs, 1.0, 0.0);
+        let sg = stft(&x, fs, 512, 256, WindowKind::Hann);
+        let first = sg.peak_freq(1).unwrap();
+        let last = sg.peak_freq(sg.n_frames() - 2).unwrap();
+        assert!(
+            last > first + 10_000.0,
+            "chirp should sweep upward: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn gated_signal_shows_silent_frames() {
+        // Tone present only in the first half: late frames have ~no power.
+        let fs = 10_000.0;
+        let mut x = tone(2000, 800.0, fs, 1.0, 0.0);
+        x.extend(vec![0.0; 2000]);
+        let sg = stft(&x, fs, 256, 256, WindowKind::Hann);
+        let early = sg.frame_power(1);
+        let late = sg.frame_power(sg.n_frames() - 2);
+        assert!(early > 1e3 * late.max(1e-30), "early {early}, late {late}");
+    }
+
+    #[test]
+    fn geometry() {
+        let fs = 8000.0;
+        let x = vec![0.0; 1024];
+        let sg = stft(&x, fs, 128, 64, WindowKind::Rect);
+        assert_eq!(sg.n_bins(), 65);
+        assert!((sg.hop_s - 64.0 / 8000.0).abs() < 1e-12);
+        assert!((sg.bin_hz - 8000.0 / 128.0).abs() < 1e-12);
+        assert!((sg.frame_time(2) - 2.0 * 64.0 / 8000.0).abs() < 1e-12);
+        assert!(sg.peak_freq(0).is_none()); // all-zero frame
+    }
+
+    #[test]
+    fn short_signal_no_frames() {
+        let sg = stft(&[1.0; 10], 100.0, 64, 32, WindowKind::Hann);
+        assert_eq!(sg.n_frames(), 0);
+        assert_eq!(sg.n_bins(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn zero_hop_rejected() {
+        stft(&[0.0; 100], 100.0, 16, 0, WindowKind::Hann);
+    }
+}

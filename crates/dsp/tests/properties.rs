@@ -1,0 +1,113 @@
+//! Property-based tests for the DSP substrate.
+//!
+//! These assert algebraic invariants (round-trips, Parseval, linearity,
+//! equivalences between independent implementations) over randomized inputs,
+//! complementing the example-based unit tests inside each module.
+
+use biscatter_dsp::complex::Cpx;
+use biscatter_dsp::fft::{fft, ifft};
+use biscatter_dsp::goertzel::goertzel_power;
+use biscatter_dsp::resample::{linear_interp, linspace, resample_to_grid};
+use biscatter_dsp::signal::NoiseSource;
+use biscatter_dsp::stats::{db_to_pow, pow_to_db, wilson_interval};
+use proptest::prelude::*;
+
+fn cpx_vec(max_len: usize) -> impl Strategy<Value = Vec<Cpx>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Cpx::new(re, im)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn fft_ifft_roundtrip(x in cpx_vec(300)) {
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_parseval(x in cpx_vec(300)) {
+        let spec = fft(&x);
+        let e_time: f64 = x.iter().map(|z| z.norm_sq()).sum();
+        let e_freq: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / x.len() as f64;
+        prop_assert!((e_time - e_freq).abs() <= 1e-6 * (1.0 + e_time));
+    }
+
+    #[test]
+    fn fft_linearity(x in cpx_vec(128), scale in -10.0f64..10.0) {
+        let scaled: Vec<Cpx> = x.iter().map(|&z| z * scale).collect();
+        let a = fft(&scaled);
+        let b: Vec<Cpx> = fft(&x).iter().map(|&z| z * scale).collect();
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((*p - *q).abs() < 1e-6 * (1.0 + p.abs()));
+        }
+    }
+
+    #[test]
+    fn fft_dc_bin_is_sum(x in cpx_vec(200)) {
+        let spec = fft(&x);
+        let sum = x.iter().fold(Cpx::ZERO, |acc, &z| acc + z);
+        prop_assert!((spec[0] - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+    }
+
+    #[test]
+    fn goertzel_equals_fft_bin(
+        vals in prop::collection::vec(-10.0f64..10.0, 16..256),
+        bin_frac in 0.0f64..1.0,
+    ) {
+        let n = vals.len();
+        let k = ((bin_frac * n as f64) as usize).min(n - 1);
+        let spec = fft(&vals.iter().map(|&v| Cpx::real(v)).collect::<Vec<_>>());
+        let g = goertzel_power(&vals, k as f64 / n as f64);
+        let f = spec[k].norm_sq();
+        prop_assert!((g - f).abs() < 1e-5 * (1.0 + f), "bin {}: {} vs {}", k, g, f);
+    }
+
+    #[test]
+    fn db_roundtrip(db in -100.0f64..100.0) {
+        prop_assert!((pow_to_db(db_to_pow(db)) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interp_within_bounds(
+        vals in prop::collection::vec(-5.0f64..5.0, 2..64),
+        idx in -10.0f64..80.0,
+    ) {
+        let y = linear_interp(&vals, idx);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12);
+    }
+
+    #[test]
+    fn resample_identity_on_same_grid(
+        vals in prop::collection::vec(-5.0f64..5.0, 2..64),
+    ) {
+        let grid = linspace(0.0, 1.0, vals.len());
+        let out = resample_to_grid(&grid, &vals, &grid);
+        for (a, b) in vals.iter().zip(&out) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wilson_contains_observed_rate(errors in 0u64..1000, extra in 1u64..1000) {
+        let trials = errors + extra;
+        let (lo, hi) = wilson_interval(errors, trials);
+        let p = errors as f64 / trials as f64;
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn noise_seed_determinism(seed in any::<u64>()) {
+        let mut a = NoiseSource::new(seed);
+        let mut b = NoiseSource::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
+        }
+    }
+}

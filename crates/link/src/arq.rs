@@ -1,0 +1,312 @@
+//! Stop-and-wait ARQ over the two-way link — the capability the paper's
+//! introduction motivates downlink with: "making on-demand retransmissions
+//! in case of packet loss".
+//!
+//! The radar is the initiator: it sends a command, waits for the tag's
+//! uplink response, and re-sends (a `Retransmit` request) up to a retry
+//! budget when the response is missing or fails its checksum. The state
+//! machines here are transport-agnostic: they consume/produce byte frames,
+//! and the PHY (simulated or real) moves them. A one-byte additive checksum
+//! + sequence bit make loss and duplication detectable on both ends.
+
+/// Transfer-frame header: sequence bit + checksum over the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArqFrame {
+    /// Alternating-bit sequence number.
+    pub seq: bool,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl ArqFrame {
+    /// Serializes to wire bytes: `[seq|checksum]` then payload. The checksum
+    /// is the low 7 bits of the byte sum; the sequence bit rides the MSB.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 1);
+        let sum: u8 = self
+            .payload
+            .iter()
+            .fold(0u8, |acc, &b| acc.wrapping_add(b))
+            & 0x7F;
+        out.push(sum | ((self.seq as u8) << 7));
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire bytes; `None` when the checksum fails or input is empty.
+    pub fn decode(data: &[u8]) -> Option<ArqFrame> {
+        let (&head, payload) = data.split_first()?;
+        let sum: u8 = payload.iter().fold(0u8, |acc, &b| acc.wrapping_add(b)) & 0x7F;
+        if sum != head & 0x7F {
+            return None;
+        }
+        Some(ArqFrame {
+            seq: head & 0x80 != 0,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// Radar-side (initiator) stop-and-wait state machine.
+///
+/// # Examples
+///
+/// ```
+/// use biscatter_link::arq::{ArqInitiator, ArqResponder, InitiatorAction};
+///
+/// let mut radar = ArqInitiator::new(3);
+/// let mut tag = ArqResponder::new();
+///
+/// let InitiatorAction::Send(wire) = radar.start(b"QRY") else { unreachable!() };
+/// let reply = tag.on_request(&wire, |_| b"DATA".to_vec()).unwrap();
+/// assert!(matches!(radar.on_response(Some(&reply)), InitiatorAction::Done(p) if p == b"DATA"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArqInitiator {
+    /// Maximum transmissions per message (first try + retries).
+    pub max_attempts: usize,
+    seq: bool,
+    attempts: usize,
+    in_flight: Option<Vec<u8>>,
+}
+
+/// What the initiator wants the PHY to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitiatorAction {
+    /// Transmit these wire bytes (a fresh frame or a retransmission).
+    Send(Vec<u8>),
+    /// The exchange concluded with the tag's verified response payload.
+    Done(Vec<u8>),
+    /// Retry budget exhausted.
+    Failed,
+}
+
+impl ArqInitiator {
+    /// Creates an initiator with the given retry budget.
+    pub fn new(max_attempts: usize) -> Self {
+        ArqInitiator {
+            max_attempts: max_attempts.max(1),
+            seq: false,
+            attempts: 0,
+            in_flight: None,
+        }
+    }
+
+    /// Starts a new exchange carrying `payload`. Returns the first
+    /// transmission.
+    pub fn start(&mut self, payload: &[u8]) -> InitiatorAction {
+        self.seq = !self.seq;
+        self.attempts = 1;
+        let wire = ArqFrame {
+            seq: self.seq,
+            payload: payload.to_vec(),
+        }
+        .encode();
+        self.in_flight = Some(wire.clone());
+        InitiatorAction::Send(wire)
+    }
+
+    /// Feeds the (possibly corrupted/absent) response observed on the
+    /// uplink. `None` = nothing decodable arrived.
+    pub fn on_response(&mut self, response: Option<&[u8]>) -> InitiatorAction {
+        let ok = response.and_then(ArqFrame::decode).and_then(|f| {
+            // The response must echo the current sequence bit.
+            if f.seq == self.seq {
+                Some(f.payload)
+            } else {
+                None
+            }
+        });
+        match ok {
+            Some(payload) => {
+                self.in_flight = None;
+                InitiatorAction::Done(payload)
+            }
+            None => {
+                if self.attempts >= self.max_attempts {
+                    self.in_flight = None;
+                    return InitiatorAction::Failed;
+                }
+                self.attempts += 1;
+                InitiatorAction::Send(
+                    self.in_flight
+                        .clone()
+                        .expect("a frame is in flight while awaiting a response"),
+                )
+            }
+        }
+    }
+
+    /// Number of transmissions used so far in the current exchange.
+    pub fn attempts(&self) -> usize {
+        self.attempts
+    }
+}
+
+/// Tag-side (responder) state machine: answers each verified request with a
+/// response frame echoing the request's sequence bit; duplicate requests
+/// (same seq) re-answer with the cached response without re-executing.
+#[derive(Debug, Clone, Default)]
+pub struct ArqResponder {
+    last_seq: Option<bool>,
+    cached_response: Vec<u8>,
+}
+
+impl ArqResponder {
+    /// Creates a fresh responder.
+    pub fn new() -> Self {
+        ArqResponder::default()
+    }
+
+    /// Handles received wire bytes. `execute` runs the application command
+    /// and returns the response payload; it is only invoked for *new*
+    /// requests (duplicates reuse the cache). Returns the wire bytes to send
+    /// back, or `None` when the request was undecodable (stay silent — the
+    /// initiator will retry).
+    pub fn on_request<F>(&mut self, wire: &[u8], execute: F) -> Option<Vec<u8>>
+    where
+        F: FnOnce(&[u8]) -> Vec<u8>,
+    {
+        let frame = ArqFrame::decode(wire)?;
+        let is_dup = self.last_seq == Some(frame.seq);
+        if !is_dup {
+            self.cached_response = execute(&frame.payload);
+            self.last_seq = Some(frame.seq);
+        }
+        Some(
+            ArqFrame {
+                seq: frame.seq,
+                payload: self.cached_response.clone(),
+            }
+            .encode(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        for seq in [false, true] {
+            let f = ArqFrame {
+                seq,
+                payload: vec![1, 2, 250],
+            };
+            assert_eq!(ArqFrame::decode(&f.encode()), Some(f));
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let mut wire = ArqFrame {
+            seq: true,
+            payload: vec![10, 20],
+        }
+        .encode();
+        wire[1] ^= 0x04;
+        assert_eq!(ArqFrame::decode(&wire), None);
+        assert_eq!(ArqFrame::decode(&[]), None);
+    }
+
+    #[test]
+    fn clean_exchange_one_attempt() {
+        let mut radar = ArqInitiator::new(3);
+        let mut tag = ArqResponder::new();
+        let InitiatorAction::Send(wire) = radar.start(b"QRY") else {
+            panic!()
+        };
+        let reply = tag
+            .on_request(&wire, |req| {
+                assert_eq!(req, b"QRY");
+                b"DATA".to_vec()
+            })
+            .unwrap();
+        match radar.on_response(Some(&reply)) {
+            InitiatorAction::Done(p) => assert_eq!(p, b"DATA"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(radar.attempts(), 1);
+    }
+
+    #[test]
+    fn lost_response_retransmits_without_reexecution() {
+        let mut radar = ArqInitiator::new(3);
+        let mut tag = ArqResponder::new();
+        let mut executions = 0;
+
+        let InitiatorAction::Send(wire) = radar.start(b"CMD") else {
+            panic!()
+        };
+        // Tag receives and executes, but the response is lost.
+        let _lost = tag.on_request(&wire, |_| {
+            executions += 1;
+            vec![9]
+        });
+        // Initiator times out → retransmission.
+        let InitiatorAction::Send(wire2) = radar.on_response(None) else {
+            panic!("should retry")
+        };
+        assert_eq!(wire, wire2);
+        // Duplicate request: the tag must NOT re-execute, just re-answer.
+        let reply = tag
+            .on_request(&wire2, |_| {
+                executions += 1;
+                vec![9]
+            })
+            .unwrap();
+        assert_eq!(executions, 1, "duplicate must not re-execute");
+        assert!(matches!(
+            radar.on_response(Some(&reply)),
+            InitiatorAction::Done(p) if p == vec![9]
+        ));
+        assert_eq!(radar.attempts(), 2);
+    }
+
+    #[test]
+    fn corrupted_response_retries_then_fails() {
+        let mut radar = ArqInitiator::new(2);
+        let InitiatorAction::Send(_) = radar.start(b"X") else {
+            panic!()
+        };
+        let garbage = vec![0xFF, 0x00, 0x13];
+        assert!(matches!(
+            radar.on_response(Some(&garbage)),
+            InitiatorAction::Send(_)
+        ));
+        assert_eq!(radar.on_response(Some(&garbage)), InitiatorAction::Failed);
+    }
+
+    #[test]
+    fn stale_sequence_rejected() {
+        let mut radar = ArqInitiator::new(3);
+        let mut tag = ArqResponder::new();
+        // Exchange 1 completes.
+        let InitiatorAction::Send(w1) = radar.start(b"A") else {
+            panic!()
+        };
+        let r1 = tag.on_request(&w1, |_| vec![1]).unwrap();
+        radar.on_response(Some(&r1));
+        // Exchange 2 starts; a delayed copy of the OLD response arrives.
+        let InitiatorAction::Send(w2) = radar.start(b"B") else {
+            panic!()
+        };
+        match radar.on_response(Some(&r1)) {
+            InitiatorAction::Send(w) => assert_eq!(w, w2), // retried, not fooled
+            other => panic!("stale response accepted: {other:?}"),
+        }
+        let r2 = tag.on_request(&w2, |_| vec![2]).unwrap();
+        assert!(matches!(
+            radar.on_response(Some(&r2)),
+            InitiatorAction::Done(p) if p == vec![2]
+        ));
+    }
+
+    #[test]
+    fn undecodable_request_stays_silent() {
+        let mut tag = ArqResponder::new();
+        assert!(tag.on_request(&[0xFF, 1, 2], |_| vec![0]).is_none());
+        assert!(tag.on_request(&[], |_| vec![0]).is_none());
+    }
+}

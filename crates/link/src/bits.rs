@@ -1,0 +1,173 @@
+//! Bit/byte/symbol packing and Gray coding.
+//!
+//! CSSK symbols carry `N_symbol = log2(N_slope)` bits each (paper eq. 12).
+//! Payload bytes are unpacked MSB-first into a bit stream, grouped into
+//! symbol-sized chunks (zero-padded at the tail), and Gray-coded so that the
+//! most likely decode error — confusing a slope with its *adjacent* slope —
+//! costs a single bit instead of up to `N_symbol` bits.
+
+/// Unpacks bytes into bits, MSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            bits.push(b & (1 << i) != 0);
+        }
+    }
+    bits
+}
+
+/// Packs bits into bytes, MSB first. The tail is zero-padded to a full byte.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut b = 0u8;
+        for (i, &bit) in chunk.iter().enumerate() {
+            if bit {
+                b |= 1 << (7 - i);
+            }
+        }
+        bytes.push(b);
+    }
+    bytes
+}
+
+/// Groups a bit stream into `bits_per_symbol`-wide symbol values (MSB first
+/// within each symbol). The tail is zero-padded.
+///
+/// # Panics
+/// Panics if `bits_per_symbol` is 0 or greater than 16.
+pub fn bits_to_symbols(bits: &[bool], bits_per_symbol: usize) -> Vec<u16> {
+    assert!(
+        (1..=16).contains(&bits_per_symbol),
+        "bits_per_symbol must be 1..=16"
+    );
+    bits.chunks(bits_per_symbol)
+        .map(|chunk| {
+            let mut v = 0u16;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    v |= 1 << (bits_per_symbol - 1 - i);
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+/// Expands symbol values back into a bit stream (inverse of
+/// [`bits_to_symbols`], including any tail padding bits).
+pub fn symbols_to_bits(symbols: &[u16], bits_per_symbol: usize) -> Vec<bool> {
+    assert!(
+        (1..=16).contains(&bits_per_symbol),
+        "bits_per_symbol must be 1..=16"
+    );
+    let mut bits = Vec::with_capacity(symbols.len() * bits_per_symbol);
+    for &s in symbols {
+        for i in (0..bits_per_symbol).rev() {
+            bits.push(s & (1 << i) != 0);
+        }
+    }
+    bits
+}
+
+/// Binary-reflected Gray code of `v`.
+pub fn gray_encode(v: u16) -> u16 {
+    v ^ (v >> 1)
+}
+
+/// Inverse of [`gray_encode`].
+pub fn gray_decode(g: u16) -> u16 {
+    let mut v = g;
+    let mut shift = 1;
+    while shift < 16 {
+        v ^= v >> shift;
+        shift <<= 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_bits_roundtrip() {
+        let data = [0x00u8, 0xFF, 0xA5, 0x3C, 0x01];
+        let bits = bytes_to_bits(&data);
+        assert_eq!(bits.len(), 40);
+        assert_eq!(bits_to_bytes(&bits), data);
+    }
+
+    #[test]
+    fn msb_first_order() {
+        let bits = bytes_to_bits(&[0b1000_0001]);
+        assert!(bits[0]);
+        assert!(!bits[1]);
+        assert!(bits[7]);
+    }
+
+    #[test]
+    fn bits_to_bytes_pads_tail() {
+        // 1,1 -> 0b1100_0000
+        assert_eq!(bits_to_bytes(&[true, true]), vec![0xC0]);
+    }
+
+    #[test]
+    fn symbols_roundtrip_various_widths() {
+        let bits = bytes_to_bits(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        for width in 1..=16 {
+            let syms = bits_to_symbols(&bits, width);
+            let back = symbols_to_bits(&syms, width);
+            assert_eq!(&back[..bits.len()], &bits[..], "width {width}");
+            // Padding bits are zero.
+            assert!(back[bits.len()..].iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn symbol_values_msb_first() {
+        // bits 101 with width 3 = 5.
+        assert_eq!(bits_to_symbols(&[true, false, true], 3), vec![5]);
+        // bits 10 with width 3 pads to 100 = 4.
+        assert_eq!(bits_to_symbols(&[true, false], 3), vec![4]);
+    }
+
+    #[test]
+    fn symbol_max_values() {
+        let bits = vec![true; 16];
+        assert_eq!(bits_to_symbols(&bits, 16), vec![u16::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits_per_symbol")]
+    fn rejects_zero_width() {
+        bits_to_symbols(&[true], 0);
+    }
+
+    #[test]
+    fn gray_roundtrip_exhaustive_low() {
+        for v in 0u16..=2048 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+        assert_eq!(gray_decode(gray_encode(u16::MAX)), u16::MAX);
+    }
+
+    #[test]
+    fn gray_adjacent_differ_one_bit() {
+        for v in 0u16..2000 {
+            let a = gray_encode(v);
+            let b = gray_encode(v + 1);
+            assert_eq!((a ^ b).count_ones(), 1, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn gray_known_values() {
+        assert_eq!(gray_encode(0), 0);
+        assert_eq!(gray_encode(1), 1);
+        assert_eq!(gray_encode(2), 3);
+        assert_eq!(gray_encode(3), 2);
+        assert_eq!(gray_encode(4), 6);
+    }
+}

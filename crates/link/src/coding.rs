@@ -1,0 +1,147 @@
+//! Hamming(7,4) forward error correction — the "more complex downlink
+//! modulations" extension the paper leaves to future work (§6). Encodes each
+//! 4-bit nibble into 7 bits and corrects any single-bit error per codeword,
+//! which is well matched to CSSK's dominant error mode (one adjacent-slope
+//! confusion → one Gray-coded bit flip).
+
+/// Encodes a nibble (low 4 bits of `data`) into a 7-bit Hamming codeword.
+///
+/// Bit layout (1-indexed positions, parity at powers of two):
+/// `p1 p2 d1 p4 d2 d3 d4` returned as bits 6..0 of the result.
+pub fn hamming74_encode(data: u8) -> u8 {
+    let d = [
+        (data >> 3) & 1, // d1
+        (data >> 2) & 1, // d2
+        (data >> 1) & 1, // d3
+        data & 1,        // d4
+    ];
+    let p1 = d[0] ^ d[1] ^ d[3];
+    let p2 = d[0] ^ d[2] ^ d[3];
+    let p4 = d[1] ^ d[2] ^ d[3];
+    (p1 << 6) | (p2 << 5) | (d[0] << 4) | (p4 << 3) | (d[1] << 2) | (d[2] << 1) | d[3]
+}
+
+/// Decodes a 7-bit codeword, correcting up to one bit error.
+/// Returns `(nibble, corrected)` where `corrected` is true if an error was
+/// fixed.
+pub fn hamming74_decode(code: u8) -> (u8, bool) {
+    let bit = |pos: u8| (code >> (7 - pos)) & 1; // 1-indexed positions
+    let s1 = bit(1) ^ bit(3) ^ bit(5) ^ bit(7);
+    let s2 = bit(2) ^ bit(3) ^ bit(6) ^ bit(7);
+    let s4 = bit(4) ^ bit(5) ^ bit(6) ^ bit(7);
+    let syndrome = (s4 << 2) | (s2 << 1) | s1;
+    let mut fixed = code;
+    let corrected = syndrome != 0;
+    if corrected {
+        fixed ^= 1 << (7 - syndrome);
+    }
+    let b = |pos: u8| (fixed >> (7 - pos)) & 1;
+    let nibble = (b(3) << 3) | (b(5) << 2) | (b(6) << 1) | b(7);
+    (nibble, corrected)
+}
+
+/// Encodes a byte stream: each byte becomes two codewords (high nibble
+/// first), each stored in one output byte (low 7 bits used).
+///
+/// # Examples
+///
+/// ```
+/// use biscatter_link::coding::{encode_bytes, decode_bytes};
+///
+/// let mut coded = encode_bytes(b"Hi");
+/// coded[1] ^= 0b0100; // one bit error on the air
+/// let (decoded, fixes) = decode_bytes(&coded);
+/// assert_eq!(decoded, b"Hi");
+/// assert_eq!(fixes, 1);
+/// ```
+pub fn encode_bytes(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(hamming74_encode(b >> 4));
+        out.push(hamming74_encode(b & 0x0F));
+    }
+    out
+}
+
+/// Decodes a stream produced by [`encode_bytes`]. Returns the data and the
+/// number of corrected codewords. Odd-length input drops the trailing
+/// codeword.
+pub fn decode_bytes(codewords: &[u8]) -> (Vec<u8>, usize) {
+    let mut out = Vec::with_capacity(codewords.len() / 2);
+    let mut corrections = 0;
+    for pair in codewords.chunks_exact(2) {
+        let (hi, c1) = hamming74_decode(pair[0] & 0x7F);
+        let (lo, c2) = hamming74_decode(pair[1] & 0x7F);
+        out.push((hi << 4) | lo);
+        corrections += usize::from(c1) + usize::from(c2);
+    }
+    (out, corrections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_nibbles() {
+        for n in 0u8..16 {
+            let (decoded, corrected) = hamming74_decode(hamming74_encode(n));
+            assert_eq!(decoded, n);
+            assert!(!corrected);
+        }
+    }
+
+    #[test]
+    fn corrects_any_single_bit_error() {
+        for n in 0u8..16 {
+            let code = hamming74_encode(n);
+            for flip in 0..7 {
+                let damaged = code ^ (1 << flip);
+                let (decoded, corrected) = hamming74_decode(damaged);
+                assert_eq!(decoded, n, "nibble {n} flip {flip}");
+                assert!(corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn codewords_distance_three() {
+        // Any two distinct codewords differ in >= 3 bits.
+        for a in 0u8..16 {
+            for b in (a + 1)..16 {
+                let d = (hamming74_encode(a) ^ hamming74_encode(b)).count_ones();
+                assert!(d >= 3, "{a} vs {b}: distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_roundtrip() {
+        let data = b"BiScatter!".to_vec();
+        let coded = encode_bytes(&data);
+        assert_eq!(coded.len(), data.len() * 2);
+        let (decoded, corrections) = decode_bytes(&coded);
+        assert_eq!(decoded, data);
+        assert_eq!(corrections, 0);
+    }
+
+    #[test]
+    fn byte_stream_survives_scattered_errors() {
+        let data = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        let mut coded = encode_bytes(&data);
+        // One bit error in each codeword — all correctable.
+        for (i, c) in coded.iter_mut().enumerate() {
+            *c ^= 1 << (i % 7);
+        }
+        let (decoded, corrections) = decode_bytes(&coded);
+        assert_eq!(decoded, data);
+        assert_eq!(corrections, 8);
+    }
+
+    #[test]
+    fn odd_length_drops_tail() {
+        let coded = encode_bytes(&[0xAB]);
+        let (decoded, _) = decode_bytes(&coded[..1]);
+        assert!(decoded.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! The radar → tag command set.
+//!
+//! The paper motivates downlink with "sending commands to the tag such as
+//! assigning the uplink modulation frequency" (§3.2.2), on-demand
+//! retransmissions, rate adaptation, and wake/sleep control (§1, §6).
+//! Commands are fixed-layout binary messages: one opcode byte, one address
+//! byte (tag ID or broadcast), and a 2-byte argument — small enough that a
+//! whole command fits in a handful of CSSK symbols.
+
+use crate::mac::TagAddress;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Command opcodes and arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Liveness probe; the tag answers with an uplink frame.
+    Ping,
+    /// Assign the uplink modulation (subcarrier) frequency, in units of
+    /// 100 Hz (so the u16 argument spans 0–6.5535 MHz).
+    SetModulationFreq {
+        /// Subcarrier frequency in units of 100 Hz.
+        freq_centihz: u16,
+    },
+    /// Set the uplink bit duration in microseconds.
+    SetBitDuration {
+        /// Bit duration, µs.
+        bit_us: u16,
+    },
+    /// Request retransmission of the tag's last uplink frame.
+    Retransmit,
+    /// Enter low-power sleep for the given number of milliseconds
+    /// (0 = until woken).
+    Sleep {
+        /// Sleep time, ms.
+        duration_ms: u16,
+    },
+    /// Wake from sleep.
+    Wake,
+    /// Ask the tag to report its sensor/data register.
+    QueryData,
+}
+
+impl Command {
+    fn opcode(&self) -> u8 {
+        match self {
+            Command::Ping => 0x01,
+            Command::SetModulationFreq { .. } => 0x02,
+            Command::SetBitDuration { .. } => 0x03,
+            Command::Retransmit => 0x04,
+            Command::Sleep { .. } => 0x05,
+            Command::Wake => 0x06,
+            Command::QueryData => 0x07,
+        }
+    }
+
+    fn argument(&self) -> u16 {
+        match self {
+            Command::SetModulationFreq { freq_centihz } => *freq_centihz,
+            Command::SetBitDuration { bit_us } => *bit_us,
+            Command::Sleep { duration_ms } => *duration_ms,
+            _ => 0,
+        }
+    }
+}
+
+/// A command addressed to a tag (or broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressedCommand {
+    /// Destination.
+    pub to: TagAddress,
+    /// The command.
+    pub command: Command,
+}
+
+/// Wire length of an encoded command, bytes.
+pub const COMMAND_WIRE_LEN: usize = 4;
+
+impl AddressedCommand {
+    /// Encodes to the 4-byte wire format: `[opcode, address, arg_hi, arg_lo]`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(COMMAND_WIRE_LEN);
+        buf.put_u8(self.command.opcode());
+        buf.put_u8(self.to.wire_byte());
+        buf.put_u16(self.command.argument());
+        buf.freeze()
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(mut data: &[u8]) -> Result<AddressedCommand, CommandError> {
+        if data.len() < COMMAND_WIRE_LEN {
+            return Err(CommandError::Truncated {
+                got: data.len(),
+            });
+        }
+        let opcode = data.get_u8();
+        let addr = data.get_u8();
+        let arg = data.get_u16();
+        let command = match opcode {
+            0x01 => Command::Ping,
+            0x02 => Command::SetModulationFreq { freq_centihz: arg },
+            0x03 => Command::SetBitDuration { bit_us: arg },
+            0x04 => Command::Retransmit,
+            0x05 => Command::Sleep { duration_ms: arg },
+            0x06 => Command::Wake,
+            0x07 => Command::QueryData,
+            other => return Err(CommandError::UnknownOpcode(other)),
+        };
+        Ok(AddressedCommand {
+            to: TagAddress::from_wire_byte(addr),
+            command,
+        })
+    }
+}
+
+/// Command decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandError {
+    /// Fewer than [`COMMAND_WIRE_LEN`] bytes available.
+    Truncated {
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// Unrecognized opcode byte.
+    UnknownOpcode(u8),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Truncated { got } => {
+                write!(f, "command truncated: {got} of {COMMAND_WIRE_LEN} bytes")
+            }
+            CommandError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::TagId;
+
+    fn all_commands() -> Vec<Command> {
+        vec![
+            Command::Ping,
+            Command::SetModulationFreq { freq_centihz: 250 },
+            Command::SetBitDuration { bit_us: 480 },
+            Command::Retransmit,
+            Command::Sleep { duration_ms: 1000 },
+            Command::Wake,
+            Command::QueryData,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_commands_unicast() {
+        for cmd in all_commands() {
+            let ac = AddressedCommand {
+                to: TagAddress::Unicast(TagId(42)),
+                command: cmd,
+            };
+            let wire = ac.encode();
+            assert_eq!(wire.len(), COMMAND_WIRE_LEN);
+            assert_eq!(AddressedCommand::decode(&wire).unwrap(), ac);
+        }
+    }
+
+    #[test]
+    fn roundtrip_broadcast() {
+        let ac = AddressedCommand {
+            to: TagAddress::Broadcast,
+            command: Command::Wake,
+        };
+        assert_eq!(AddressedCommand::decode(&ac.encode()).unwrap(), ac);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let err = AddressedCommand::decode(&[0x01, 0x02]).unwrap_err();
+        assert_eq!(err, CommandError::Truncated { got: 2 });
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let err = AddressedCommand::decode(&[0xEE, 0x00, 0x00, 0x00]).unwrap_err();
+        assert_eq!(err, CommandError::UnknownOpcode(0xEE));
+    }
+
+    #[test]
+    fn argument_preserved() {
+        let ac = AddressedCommand {
+            to: TagAddress::Unicast(TagId(1)),
+            command: Command::SetModulationFreq {
+                freq_centihz: 12345,
+            },
+        };
+        match AddressedCommand::decode(&ac.encode()).unwrap().command {
+            Command::SetModulationFreq { freq_centihz } => assert_eq!(freq_centihz, 12345),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! BiScatter packet structures.
+//!
+//! **Downlink** (paper §3.1, Fig. 3): a preamble of `header` chirps (a
+//! reserved slope, used by the tag to measure the chirp period), a `sync`
+//! field (a second reserved slope marking where the payload begins), then the
+//! data payload — one CSSK symbol per chirp. Two slope values are reserved
+//! for header/sync, so an alphabet of `2^N + 2` slopes carries `N`-bit data
+//! symbols (paper §3.2.2).
+//!
+//! **Uplink**: the tag's OOK/FSK bit stream, framed with a fixed preamble so
+//! the radar can align bit boundaries after localization.
+
+use crate::bits::{bits_to_bytes, bits_to_symbols, bytes_to_bits, gray_decode, gray_encode, symbols_to_bits};
+
+/// A symbol on the downlink air interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownlinkSymbol {
+    /// Preamble header symbol (reserved slope #0).
+    Header,
+    /// Sync symbol marking end of preamble (reserved slope #1).
+    Sync,
+    /// A data symbol carrying `bits_per_symbol` bits; value < 2^bits.
+    Data(u16),
+}
+
+/// Downlink packet: payload plus preamble configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DownlinkPacket {
+    /// Number of header chirps. The paper's tag needs several to estimate
+    /// the chirp period with a long FFT window (Fig. 6); 8 is a comfortable
+    /// default.
+    pub header_len: usize,
+    /// Number of sync chirps (>= 1).
+    pub sync_len: usize,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl DownlinkPacket {
+    /// A packet with default preamble (8 header chirps, 2 sync chirps).
+    pub fn new(payload: impl Into<Vec<u8>>) -> Self {
+        DownlinkPacket {
+            header_len: 8,
+            sync_len: 2,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serializes to the on-air symbol sequence. Each payload bit group `b`
+    /// is carried by slope index `gray_decode(b)`, so two *adjacent slopes*
+    /// carry bit groups differing in exactly one bit (`gray_encode` of
+    /// adjacent indices differ by one bit) — the Gray mapping that makes the
+    /// dominant CSSK error (adjacent-slope confusion) cost a single bit.
+    ///
+    /// # Panics
+    /// Panics if `bits_per_symbol` is outside `1..=16` or `sync_len == 0`.
+    pub fn to_symbols(&self, bits_per_symbol: usize) -> Vec<DownlinkSymbol> {
+        assert!(self.sync_len > 0, "at least one sync symbol required");
+        let mut out = Vec::new();
+        out.resize(self.header_len, DownlinkSymbol::Header);
+        out.resize(self.header_len + self.sync_len, DownlinkSymbol::Sync);
+        let bits = bytes_to_bits(&self.payload);
+        for s in bits_to_symbols(&bits, bits_per_symbol) {
+            out.push(DownlinkSymbol::Data(gray_decode(s)));
+        }
+        out
+    }
+
+    /// Number of data symbols this packet occupies at a given symbol width.
+    pub fn data_symbol_count(&self, bits_per_symbol: usize) -> usize {
+        (self.payload.len() * 8).div_ceil(bits_per_symbol)
+    }
+
+    /// Total chirps on air.
+    pub fn total_chirps(&self, bits_per_symbol: usize) -> usize {
+        self.header_len + self.sync_len + self.data_symbol_count(bits_per_symbol)
+    }
+}
+
+/// Errors while parsing a received downlink symbol stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// No sync symbol found after the header run.
+    NoSync,
+    /// Stream ended before any header symbol.
+    Empty,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::NoSync => write!(f, "no sync symbol found in stream"),
+            PacketError::Empty => write!(f, "empty symbol stream"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Parses a received symbol stream back into payload bytes.
+///
+/// Scans past the header run, requires at least one `Sync`, then collects
+/// payload symbols until the stream ends or a *run* of two or more `Header`
+/// symbols begins (the start of the next packet). A single stray `Header` or
+/// `Sync` inside the payload is almost always an adjacent-slope decode error;
+/// both reserved slopes sit at the slow end of the ladder next to `Data(0)`,
+/// so strays map to `Data(0)`'s bit group instead of corrupting the framing.
+/// Gray decoding is applied. `expected_len` (bytes), when given, truncates
+/// the tail padding.
+pub fn parse_downlink(
+    symbols: &[DownlinkSymbol],
+    bits_per_symbol: usize,
+    expected_len: Option<usize>,
+) -> Result<Vec<u8>, PacketError> {
+    if symbols.is_empty() {
+        return Err(PacketError::Empty);
+    }
+    let mut i = 0;
+    // Skip header run (also tolerate a stream that starts directly at sync).
+    while i < symbols.len() && symbols[i] == DownlinkSymbol::Header {
+        i += 1;
+    }
+    // Require sync.
+    if i >= symbols.len() || symbols[i] != DownlinkSymbol::Sync {
+        return Err(PacketError::NoSync);
+    }
+    while i < symbols.len() && symbols[i] == DownlinkSymbol::Sync {
+        i += 1;
+    }
+    let mut values = Vec::new();
+    let mut j = i;
+    while j < symbols.len() {
+        match symbols[j] {
+            DownlinkSymbol::Data(v) => values.push(gray_encode(v)),
+            DownlinkSymbol::Header => {
+                // Two consecutive headers = the next packet's preamble.
+                if symbols.get(j + 1) == Some(&DownlinkSymbol::Header) {
+                    break;
+                }
+                // Isolated header: adjacent-slope error near slope index 0,
+                // whose bit group is gray_encode(0) == 0.
+                values.push(0);
+            }
+            // Isolated sync mid-payload: likewise adjacent to Data(0).
+            DownlinkSymbol::Sync => values.push(0),
+        }
+        j += 1;
+    }
+    let bits = symbols_to_bits(&values, bits_per_symbol);
+    let mut bytes = bits_to_bytes(&bits);
+    if let Some(len) = expected_len {
+        bytes.truncate(len);
+    }
+    Ok(bytes)
+}
+
+/// Uplink frame: preamble bits + payload, as modulated by the tag's switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UplinkFrame {
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The uplink preamble bit pattern (Barker-7, good autocorrelation).
+pub const UPLINK_PREAMBLE: [bool; 7] = [true, true, true, false, false, true, false];
+
+impl UplinkFrame {
+    /// Creates a frame.
+    pub fn new(payload: impl Into<Vec<u8>>) -> Self {
+        UplinkFrame {
+            payload: payload.into(),
+        }
+    }
+
+    /// Serializes to the on-air bit sequence: preamble + payload bits.
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = UPLINK_PREAMBLE.to_vec();
+        bits.extend(bytes_to_bits(&self.payload));
+        bits
+    }
+
+    /// Locates the preamble in a received bit stream (allowing up to
+    /// `max_errors` mismatches) and parses the payload that follows.
+    /// Returns `None` if no acceptable preamble alignment exists.
+    pub fn from_bits(bits: &[bool], payload_len: usize, max_errors: usize) -> Option<UplinkFrame> {
+        let plen = UPLINK_PREAMBLE.len();
+        let need = plen + payload_len * 8;
+        if bits.len() < need {
+            return None;
+        }
+        for start in 0..=(bits.len() - need) {
+            let errors = UPLINK_PREAMBLE
+                .iter()
+                .zip(&bits[start..start + plen])
+                .filter(|(a, b)| *a != *b)
+                .count();
+            if errors <= max_errors {
+                let payload_bits = &bits[start + plen..start + need];
+                return Some(UplinkFrame {
+                    payload: bits_to_bytes(payload_bits),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downlink_roundtrip() {
+        let pkt = DownlinkPacket::new(b"HELLO".to_vec());
+        for width in [1usize, 3, 5, 8, 10] {
+            let syms = pkt.to_symbols(width);
+            let bytes = parse_downlink(&syms, width, Some(5)).unwrap();
+            assert_eq!(bytes, b"HELLO", "width {width}");
+        }
+    }
+
+    #[test]
+    fn symbol_stream_structure() {
+        let pkt = DownlinkPacket::new(vec![0xFF]);
+        let syms = pkt.to_symbols(4);
+        assert_eq!(syms.len(), 8 + 2 + 2);
+        assert!(syms[..8].iter().all(|s| *s == DownlinkSymbol::Header));
+        assert_eq!(syms[8], DownlinkSymbol::Sync);
+        assert_eq!(syms[9], DownlinkSymbol::Sync);
+        // 0xFF in two 4-bit symbols: slope index = gray_decode(15).
+        assert_eq!(syms[10], DownlinkSymbol::Data(gray_decode(15)));
+    }
+
+    #[test]
+    fn data_symbol_count_rounds_up() {
+        let pkt = DownlinkPacket::new(vec![0u8; 3]); // 24 bits
+        assert_eq!(pkt.data_symbol_count(5), 5); // ceil(24/5)
+        assert_eq!(pkt.data_symbol_count(8), 3);
+        assert_eq!(pkt.total_chirps(8), 8 + 2 + 3);
+    }
+
+    #[test]
+    fn parse_without_sync_fails() {
+        let syms = vec![DownlinkSymbol::Header; 5];
+        assert_eq!(
+            parse_downlink(&syms, 4, None).unwrap_err(),
+            PacketError::NoSync
+        );
+    }
+
+    #[test]
+    fn parse_empty_fails() {
+        assert_eq!(parse_downlink(&[], 4, None).unwrap_err(), PacketError::Empty);
+    }
+
+    #[test]
+    fn parse_data_without_header_prefix_fails() {
+        // A stream that starts mid-payload has no sync anchor.
+        let syms = vec![DownlinkSymbol::Data(3), DownlinkSymbol::Data(1)];
+        assert_eq!(
+            parse_downlink(&syms, 4, None).unwrap_err(),
+            PacketError::NoSync
+        );
+    }
+
+    #[test]
+    fn parse_stops_at_next_packet() {
+        let mut syms = DownlinkPacket::new(vec![0xAB]).to_symbols(8);
+        // Append the start of a second packet (a header *run*).
+        syms.push(DownlinkSymbol::Header);
+        syms.push(DownlinkSymbol::Header);
+        syms.push(DownlinkSymbol::Data(0x12));
+        let bytes = parse_downlink(&syms, 8, None).unwrap();
+        assert_eq!(bytes, vec![0xAB]);
+    }
+
+    #[test]
+    fn stray_preamble_symbols_become_adjacent_data() {
+        // An isolated Header mid-payload decodes as Data(0)'s raw value;
+        // an isolated Sync as the raw value of on-air max.
+        let syms = vec![
+            DownlinkSymbol::Header,
+            DownlinkSymbol::Sync,
+            DownlinkSymbol::Data(gray_decode(0x55)),
+            DownlinkSymbol::Header, // stray: bit group 0
+            DownlinkSymbol::Data(gray_decode(0x0F)),
+            DownlinkSymbol::Sync, // stray: bit group 0 (adjacent to Data(0))
+        ];
+        let bytes = parse_downlink(&syms, 8, None).unwrap();
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(bytes[0], 0x55);
+        assert_eq!(bytes[1], 0x00);
+        assert_eq!(bytes[2], 0x0F);
+        assert_eq!(bytes[3], 0x00);
+    }
+
+    #[test]
+    fn expected_len_truncates_padding() {
+        let pkt = DownlinkPacket::new(vec![0x5A]);
+        let syms = pkt.to_symbols(3); // 8 bits -> 3 symbols = 9 bits -> 2 bytes unpadded
+        let full = parse_downlink(&syms, 3, None).unwrap();
+        assert_eq!(full.len(), 2);
+        let trimmed = parse_downlink(&syms, 3, Some(1)).unwrap();
+        assert_eq!(trimmed, vec![0x5A]);
+    }
+
+    #[test]
+    fn uplink_roundtrip() {
+        let frame = UplinkFrame::new(b"TAG7".to_vec());
+        let bits = frame.to_bits();
+        let parsed = UplinkFrame::from_bits(&bits, 4, 0).unwrap();
+        assert_eq!(parsed.payload, b"TAG7");
+    }
+
+    #[test]
+    fn uplink_finds_offset_preamble() {
+        let frame = UplinkFrame::new(vec![0x42]);
+        let mut bits = vec![false, true, false]; // leading junk
+        bits.extend(frame.to_bits());
+        let parsed = UplinkFrame::from_bits(&bits, 1, 0).unwrap();
+        assert_eq!(parsed.payload, vec![0x42]);
+    }
+
+    #[test]
+    fn uplink_tolerates_preamble_errors() {
+        let frame = UplinkFrame::new(vec![0x42]);
+        let mut bits = frame.to_bits();
+        bits[2] = !bits[2]; // corrupt one preamble bit
+        assert!(UplinkFrame::from_bits(&bits, 1, 0).is_none());
+        let parsed = UplinkFrame::from_bits(&bits, 1, 1).unwrap();
+        assert_eq!(parsed.payload, vec![0x42]);
+    }
+
+    #[test]
+    fn uplink_too_short_returns_none() {
+        assert!(UplinkFrame::from_bits(&[true; 5], 4, 0).is_none());
+    }
+}

@@ -1,0 +1,337 @@
+//! Chirp-Slope-Shift Keying (CSSK) — the paper's core modulation (§3.1).
+//!
+//! The radar fixes bandwidth `B` (preserving range resolution) and varies
+//! chirp duration `T_chirp`, hence slope `α = B / T_chirp`. At the tag, a
+//! chirp of duration `T` produces a beat tone `Δf = B·ΔT / T` (eq. 11) — so
+//! spacing symbols **uniformly in `1/T`** spaces the tag's beat frequencies
+//! uniformly (the `Δf_int` of eq. 13), independent of the tag's `ΔT`.
+//!
+//! The alphabet holds `2^bits + 2` slopes. The two *reserved* slopes —
+//! **header** (index 0, the longest chirp) and **sync** (index 1) — sit
+//! together at the slow end of the ladder, where the per-symbol beat
+//! separation `Δf_int · T_chirp` is largest: framing symbols get the most
+//! protection, and a framing confusion is never more than one slope away
+//! from `Data(0)`. The `2^bits` data slopes occupy indices 2 and up, down to
+//! the radar's minimum chirp (`T_chirp_min`, 10–20 µs for commercial parts,
+//! paper §6); the longest chirp is bounded by `0.8 · T_period`
+//! (inter-chirp-delay constraint, §3.1).
+
+use biscatter_link::packet::DownlinkSymbol;
+use biscatter_rf::chirp::Chirp;
+use biscatter_rf::frame::MAX_DUTY;
+
+/// A CSSK symbol alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use biscatter_radar::cssk::CsskAlphabet;
+/// use biscatter_link::packet::DownlinkSymbol;
+///
+/// // 5-bit symbols on a 1 GHz sweep, chirps 20-96 µs on a 120 µs period.
+/// let a = CsskAlphabet::new(9e9, 1e9, 5, 20e-6, 120e-6).unwrap();
+/// assert_eq!(a.n_slopes(), 34); // 32 data + header + sync
+///
+/// // A tag with ΔT = 5.44 ns (45 in of coax) sees uniformly spaced beats.
+/// let f0 = a.beat_freq_for(DownlinkSymbol::Data(0), 5.44e-9);
+/// let f1 = a.beat_freq_for(DownlinkSymbol::Data(1), 5.44e-9);
+/// assert!((f1 - f0 - a.delta_f_int(5.44e-9)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsskAlphabet {
+    /// Chirp bandwidth `B`, Hz (fixed across all symbols).
+    pub bandwidth: f64,
+    /// Carrier (chirp start) frequency `f0`, Hz.
+    pub f0: f64,
+    /// Data bits per symbol (`N_symbol`, eq. 12).
+    pub bits_per_symbol: usize,
+    /// Chirp durations indexed by slope slot:
+    /// `[header, sync, data 0 .. 2^bits-1]` (slowest to fastest).
+    durations: Vec<f64>,
+}
+
+/// Errors constructing an alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CsskError {
+    /// The requested symbol count doesn't fit between `t_min` and `t_max`.
+    InvalidDurationRange {
+        /// Shortest allowed chirp, s.
+        t_min: f64,
+        /// Longest allowed chirp, s.
+        t_max: f64,
+    },
+    /// bits_per_symbol outside 1..=12.
+    BadSymbolWidth(usize),
+}
+
+impl std::fmt::Display for CsskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsskError::InvalidDurationRange { t_min, t_max } => {
+                write!(f, "invalid duration range [{t_min:.2e}, {t_max:.2e}]")
+            }
+            CsskError::BadSymbolWidth(b) => write!(f, "bits_per_symbol {b} outside 1..=12"),
+        }
+    }
+}
+
+impl std::error::Error for CsskError {}
+
+impl CsskAlphabet {
+    /// Builds an alphabet for `bits_per_symbol`-bit data symbols.
+    ///
+    /// * `f0`, `bandwidth` — the fixed sweep parameters,
+    /// * `t_chirp_min` — shortest chirp the radar supports,
+    /// * `t_period` — the fixed slot period; the longest chirp is
+    ///   `MAX_DUTY · t_period`.
+    ///
+    /// Inverse durations are spaced uniformly over
+    /// `[1/t_max, 1/t_min]`, giving uniformly spaced tag beat frequencies.
+    pub fn new(
+        f0: f64,
+        bandwidth: f64,
+        bits_per_symbol: usize,
+        t_chirp_min: f64,
+        t_period: f64,
+    ) -> Result<Self, CsskError> {
+        if !(1..=12).contains(&bits_per_symbol) {
+            return Err(CsskError::BadSymbolWidth(bits_per_symbol));
+        }
+        let t_max = MAX_DUTY * t_period;
+        if t_chirp_min <= 0.0 || t_chirp_min >= t_max {
+            return Err(CsskError::InvalidDurationRange {
+                t_min: t_chirp_min,
+                t_max,
+            });
+        }
+        let n_slopes = (1usize << bits_per_symbol) + 2;
+        let s_min = 1.0 / t_max;
+        let s_max = 1.0 / t_chirp_min;
+        let step = (s_max - s_min) / (n_slopes - 1) as f64;
+        let durations: Vec<f64> = (0..n_slopes)
+            .map(|i| 1.0 / (s_min + step * i as f64))
+            .collect();
+        Ok(CsskAlphabet {
+            bandwidth,
+            f0,
+            bits_per_symbol,
+            durations,
+        })
+    }
+
+    /// Total number of slopes (`2^bits + 2`).
+    pub fn n_slopes(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Number of data slopes (`2^bits`).
+    pub fn n_data_symbols(&self) -> usize {
+        self.n_slopes() - 2
+    }
+
+    /// The chirp duration for a given on-air symbol.
+    ///
+    /// # Panics
+    /// Panics if a data value is out of range for this alphabet.
+    pub fn duration_for(&self, symbol: DownlinkSymbol) -> f64 {
+        match symbol {
+            DownlinkSymbol::Header => self.durations[0],
+            DownlinkSymbol::Sync => self.durations[1],
+            DownlinkSymbol::Data(v) => {
+                assert!(
+                    (v as usize) < self.n_data_symbols(),
+                    "data symbol {v} out of range (alphabet holds {})",
+                    self.n_data_symbols()
+                );
+                self.durations[2 + v as usize]
+            }
+        }
+    }
+
+    /// The full chirp for a symbol.
+    pub fn chirp_for(&self, symbol: DownlinkSymbol) -> Chirp {
+        Chirp::new(self.f0, self.bandwidth, self.duration_for(symbol))
+    }
+
+    /// Inverse-duration (slope ∝) spacing between adjacent symbols, 1/s.
+    pub fn inv_duration_step(&self) -> f64 {
+        (1.0 / self.durations[self.n_slopes() - 1] - 1.0 / self.durations[0])
+            / (self.n_slopes() - 1) as f64
+    }
+
+    /// The beat-frequency spacing `Δf_int` a tag with differential delay
+    /// `delta_t` observes between adjacent slopes (paper eq. 13 rearranged).
+    pub fn delta_f_int(&self, delta_t: f64) -> f64 {
+        self.bandwidth * delta_t * self.inv_duration_step()
+    }
+
+    /// The beat frequency a tag with delay `delta_t` observes for a symbol.
+    pub fn beat_freq_for(&self, symbol: DownlinkSymbol, delta_t: f64) -> f64 {
+        self.bandwidth * delta_t / self.duration_for(symbol)
+    }
+
+    /// All slot durations `[header, sync, data..]` (slowest to fastest).
+    pub fn durations(&self) -> &[f64] {
+        &self.durations
+    }
+
+    /// Classifies a duration estimate back into the nearest symbol
+    /// (inverse-duration nearest neighbour). Used by ideal-decoder tests;
+    /// the real tag decides in the beat-frequency domain, which is
+    /// equivalent.
+    pub fn classify_duration(&self, duration: f64) -> DownlinkSymbol {
+        let s = 1.0 / duration;
+        let s0 = 1.0 / self.durations[0];
+        let step = self.inv_duration_step();
+        let idx = ((s - s0) / step).round().clamp(0.0, (self.n_slopes() - 1) as f64) as usize;
+        match idx {
+            0 => DownlinkSymbol::Header,
+            1 => DownlinkSymbol::Sync,
+            _ => DownlinkSymbol::Data((idx - 2) as u16),
+        }
+    }
+
+    /// Downlink data rate in bits/s at period `t_period` (paper eq. 14).
+    pub fn data_rate_bps(&self, t_period: f64) -> f64 {
+        self.bits_per_symbol as f64 / t_period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alphabet(bits: usize) -> CsskAlphabet {
+        CsskAlphabet::new(9e9, 1e9, bits, 20e-6, 120e-6).unwrap()
+    }
+
+    #[test]
+    fn slope_count() {
+        assert_eq!(alphabet(5).n_slopes(), 34);
+        assert_eq!(alphabet(5).n_data_symbols(), 32);
+        assert_eq!(alphabet(1).n_slopes(), 4);
+    }
+
+    #[test]
+    fn durations_bounded() {
+        let a = alphabet(5);
+        for &d in a.durations() {
+            assert!(d >= 20e-6 - 1e-12, "duration {d} below minimum");
+            assert!(d <= 96e-6 + 1e-12, "duration {d} above 0.8*period");
+        }
+        // Header is the longest; sync sits right next to it; the fastest
+        // data slope is the radar's minimum chirp.
+        assert!((a.duration_for(DownlinkSymbol::Header) - 96e-6).abs() < 1e-12);
+        assert!(a.duration_for(DownlinkSymbol::Sync) < 96e-6);
+        assert!(a.duration_for(DownlinkSymbol::Sync) > a.duration_for(DownlinkSymbol::Data(0)));
+        let fastest = a.duration_for(DownlinkSymbol::Data(a.n_data_symbols() as u16 - 1));
+        assert!((fastest - 20e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_durations_uniform() {
+        let a = alphabet(4);
+        let inv: Vec<f64> = a.durations().iter().map(|d| 1.0 / d).collect();
+        let step = inv[1] - inv[0];
+        for w in inv.windows(2) {
+            assert!(((w[1] - w[0]) - step).abs() / step < 1e-9);
+        }
+    }
+
+    #[test]
+    fn beat_frequencies_uniform_for_any_tag() {
+        let a = alphabet(5);
+        for &delta_t in &[1e-9, 5.44e-9, 20e-9] {
+            let beats: Vec<f64> = (0..a.n_data_symbols() as u16)
+                .map(|v| a.beat_freq_for(DownlinkSymbol::Data(v), delta_t))
+                .collect();
+            let step = beats[1] - beats[0];
+            for w in beats.windows(2) {
+                assert!(((w[1] - w[0]) - step).abs() / step.abs() < 1e-9);
+            }
+            assert!((step - a.delta_f_int(delta_t)).abs() / step.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_beat_range_example() {
+        // 1 GHz bandwidth, ΔT for 18 in of k=0.7 coax, durations 20–96 µs:
+        // beat spans ~[20 kHz, 109 kHz].
+        let a = alphabet(5);
+        let delta_t = 18.0 * 0.0254 / (0.7 * 299_792_458.0);
+        let f_lo = a.beat_freq_for(DownlinkSymbol::Header, delta_t);
+        let f_hi =
+            a.beat_freq_for(DownlinkSymbol::Data(a.n_data_symbols() as u16 - 1), delta_t);
+        assert!((f_lo - 22_687.0).abs() < 200.0, "low {f_lo}");
+        assert!((f_hi - 108_900.0).abs() < 500.0, "high {f_hi}");
+    }
+
+    #[test]
+    fn classify_roundtrip() {
+        let a = alphabet(6);
+        for v in 0..a.n_data_symbols() as u16 {
+            let sym = DownlinkSymbol::Data(v);
+            assert_eq!(a.classify_duration(a.duration_for(sym)), sym);
+        }
+        assert_eq!(
+            a.classify_duration(a.duration_for(DownlinkSymbol::Header)),
+            DownlinkSymbol::Header
+        );
+        assert_eq!(
+            a.classify_duration(a.duration_for(DownlinkSymbol::Sync)),
+            DownlinkSymbol::Sync
+        );
+    }
+
+    #[test]
+    fn classify_tolerates_small_error() {
+        let a = alphabet(5);
+        let sym = DownlinkSymbol::Data(10);
+        let d = a.duration_for(sym);
+        // Perturb by 20% of the inverse-duration step.
+        let s = 1.0 / d + 0.2 * a.inv_duration_step();
+        assert_eq!(a.classify_duration(1.0 / s), sym);
+    }
+
+    #[test]
+    fn more_bits_smaller_spacing() {
+        let delta_t = 5e-9;
+        let wide = alphabet(3).delta_f_int(delta_t);
+        let narrow = alphabet(7).delta_f_int(delta_t);
+        assert!(narrow < wide / 10.0);
+    }
+
+    #[test]
+    fn data_rate_example() {
+        // Paper §3.2.2: 10-bit symbols at 100 µs period = 0.1 Mbps.
+        let a = CsskAlphabet::new(9e9, 1e9, 10, 10e-6, 100e-6).unwrap();
+        assert!((a.data_rate_bps(100e-6) - 100_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_widths() {
+        assert!(matches!(
+            CsskAlphabet::new(9e9, 1e9, 0, 20e-6, 120e-6),
+            Err(CsskError::BadSymbolWidth(0))
+        ));
+        assert!(matches!(
+            CsskAlphabet::new(9e9, 1e9, 13, 20e-6, 120e-6),
+            Err(CsskError::BadSymbolWidth(13))
+        ));
+    }
+
+    #[test]
+    fn rejects_impossible_duration_range() {
+        // t_min beyond 0.8*period.
+        assert!(matches!(
+            CsskAlphabet::new(9e9, 1e9, 5, 100e-6, 120e-6),
+            Err(CsskError::InvalidDurationRange { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn data_symbol_out_of_range_panics() {
+        alphabet(3).duration_for(DownlinkSymbol::Data(8));
+    }
+}

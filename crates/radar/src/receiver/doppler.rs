@@ -1,0 +1,226 @@
+//! Slow-time (Doppler / modulation-frequency) processing.
+//!
+//! After IF correction the frame is a chirps × range matrix. An FFT down
+//! each range column converts per-chirp variation into the modulation
+//! spectrum: a static reflector stays at 0 Hz, a mover appears at its Doppler
+//! shift, and a BiScatter tag — whose amplitude toggles as a square wave —
+//! appears at its switch modulation frequency (and odd harmonics, the sinc
+//! structure the paper notes in §3.3).
+
+use super::AlignedFrame;
+use biscatter_dsp::complex::Cpx;
+use biscatter_dsp::fft::fft;
+use biscatter_dsp::window::WindowKind;
+
+/// A range–Doppler (range–modulation) power map.
+#[derive(Debug, Clone)]
+pub struct RangeDopplerMap {
+    /// `power[doppler_bin][range_bin]`.
+    pub power: Vec<Vec<f64>>,
+    /// The range grid, metres.
+    pub range_grid: Vec<f64>,
+    /// Slow-time FFT length (number of Doppler bins).
+    pub n_doppler: usize,
+    /// Chirp period, s.
+    pub t_period: f64,
+}
+
+impl RangeDopplerMap {
+    /// Modulation frequency of Doppler bin `k` (bins above `n/2` are
+    /// negative frequencies).
+    pub fn doppler_freq(&self, k: usize) -> f64 {
+        biscatter_dsp::fft::bin_to_freq(k, self.n_doppler, 1.0 / self.t_period)
+    }
+
+    /// The Doppler bin closest to modulation frequency `f_hz` (positive
+    /// frequencies only).
+    pub fn bin_for_freq(&self, f_hz: f64) -> usize {
+        let bin = (f_hz * self.t_period * self.n_doppler as f64).round() as usize;
+        bin.min(self.n_doppler / 2)
+    }
+
+    /// The power-vs-range slice at Doppler bin `k`.
+    pub fn range_slice(&self, k: usize) -> &[f64] {
+        &self.power[k]
+    }
+
+    /// Sums power over a small window of Doppler bins around `center`
+    /// (inclusive ± `half_width`), clamped to the positive-frequency half.
+    pub fn range_slice_banded(&self, center: usize, half_width: usize) -> Vec<f64> {
+        let lo = center.saturating_sub(half_width);
+        let hi = (center + half_width).min(self.n_doppler / 2);
+        let n_range = self.range_grid.len();
+        let mut out = vec![0.0; n_range];
+        for row in &self.power[lo..=hi] {
+            for (o, &p) in out.iter_mut().zip(row) {
+                *o += p;
+            }
+        }
+        out
+    }
+}
+
+/// Computes the range–Doppler map of an aligned frame. A Hann window is
+/// applied along slow time to contain leakage from the strong static clutter
+/// at 0 Hz.
+pub fn range_doppler(frame: &AlignedFrame) -> RangeDopplerMap {
+    let n_chirps = frame.n_chirps();
+    let n_range = frame.range_grid.len();
+    let n_doppler = biscatter_dsp::fft::next_pow2(n_chirps);
+    let window = WindowKind::Hann.coefficients(n_chirps);
+
+    let mut power = vec![vec![0.0f64; n_range]; n_doppler];
+    let mut column = vec![Cpx::ZERO; n_doppler];
+    for r in 0..n_range {
+        for (c, z) in column.iter_mut().enumerate().take(n_doppler) {
+            *z = if c < n_chirps {
+                frame.profiles[c][r] * window[c]
+            } else {
+                Cpx::ZERO
+            };
+        }
+        let spec = fft(&column);
+        for (row, z) in power.iter_mut().zip(&spec) {
+            row[r] = z.norm_sq();
+        }
+    }
+
+    RangeDopplerMap {
+        power,
+        range_grid: frame.range_grid.clone(),
+        n_doppler,
+        t_period: frame.t_period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::{align_frame, RxConfig};
+    use biscatter_rf::chirp::Chirp;
+    use biscatter_rf::frame::ChirpTrain;
+    use biscatter_rf::if_gen::IfReceiver;
+    use biscatter_rf::scene::{Scatterer, Scene};
+    use biscatter_dsp::signal::NoiseSource;
+
+    fn run_frame(scene: &Scene, n_chirps: usize, seed: u64) -> RangeDopplerMap {
+        let chirps = vec![Chirp::new(9e9, 1e9, 96e-6); n_chirps];
+        let train = ChirpTrain::with_fixed_period(&chirps, 120e-6).unwrap();
+        let rx = IfReceiver {
+            sample_rate_hz: 10e6,
+            noise_sigma: 0.001,
+        };
+        let mut noise = NoiseSource::new(seed);
+        let if_data = rx.dechirp_train(&train, scene, 0.0, &mut noise);
+        let cfg = RxConfig::default();
+        let frame = align_frame(&cfg, &train, &if_data);
+        range_doppler(&frame)
+    }
+
+    fn grid_index(map: &RangeDopplerMap, r: f64) -> usize {
+        map.range_grid
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - r).abs().partial_cmp(&(b.1 - r).abs()).unwrap()
+            })
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn tag_appears_at_modulation_bin() {
+        // 128 chirps at 120 µs: chirp rate 8333 Hz, Doppler res 65 Hz.
+        // Tag modulating at 1041.7 Hz (bin 16 of 128 → bin 16 of 128-pt FFT).
+        let f_mod = 16.0 / (128.0 * 120e-6);
+        let scene = Scene::new()
+            .with(Scatterer::clutter(2.0, 5.0))
+            .with(Scatterer::tag(5.0, 1.0, f_mod));
+        let map = run_frame(&scene, 128, 1);
+        let mod_bin = map.bin_for_freq(f_mod);
+        assert_eq!(mod_bin, 16);
+        let slice = map.range_slice(mod_bin);
+        let tag_idx = grid_index(&map, 5.0);
+        let clutter_idx = grid_index(&map, 2.0);
+        // Tag range bin dominates the modulation slice.
+        let best = slice
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            (best as i64 - tag_idx as i64).abs() <= 5,
+            "peak at grid {best}, tag at {tag_idx}"
+        );
+        assert!(slice[tag_idx] > 100.0 * slice[clutter_idx]);
+    }
+
+    #[test]
+    fn static_clutter_stays_at_dc() {
+        let scene = Scene::new().with(Scatterer::clutter(3.0, 2.0));
+        let mut map = run_frame(&scene, 64, 2);
+        // Background subtraction removes chirp-0 copy; disable its effect by
+        // checking relative power: all energy at DC region vs elsewhere.
+        let idx = grid_index(&map, 3.0);
+        // DC bin (0) should hold nothing after background subtraction, and
+        // mid-band bins should be noise-level.
+        let mid = map.n_doppler / 4;
+        let p_mid = map.power[mid][idx];
+        map.power[0][idx] = 0.0;
+        let total_off_dc: f64 = (2..map.n_doppler / 2).map(|d| map.power[d][idx]).sum();
+        assert!(p_mid < 1e-3, "static target leaked to mid-band: {p_mid}");
+        assert!(total_off_dc < 1e-2, "off-DC energy {total_off_dc}");
+    }
+
+    #[test]
+    fn mover_appears_at_doppler_shift() {
+        // v = 1 m/s receding at 9.5 GHz: f_d = 2 v f0 / c ≈ 63.4 Hz.
+        // With 256 chirps at 120 µs, Doppler res = 32.6 Hz → bin ≈ 2.
+        let scene = Scene::new().with(Scatterer::mover(4.0, 1.0, 1.0));
+        let map = run_frame(&scene, 256, 3);
+        let idx = grid_index(&map, 4.0);
+        // Find the strongest non-DC Doppler bin at the mover's range.
+        let (best, _) = (1..map.n_doppler / 2)
+            .map(|d| (d, map.power[d][idx]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        let f_est = map.doppler_freq(best);
+        // Expected Doppler: phase of the IF changes 2*f0*v/c per second...
+        // our IF model rebuilds tau per chirp, so range migration produces
+        // the beat; expected f_d = 2 v f_center / c ≈ 63 Hz (within a bin
+        // or two).
+        let f_expected = 2.0 * 1.0 * 9.5e9 / 3e8;
+        assert!(
+            (f_est - f_expected).abs() < 66.0,
+            "Doppler est {f_est}, expected {f_expected}"
+        );
+    }
+
+    #[test]
+    fn banded_slice_sums_bins() {
+        let f_mod = 16.0 / (128.0 * 120e-6);
+        let scene = Scene::new().with(Scatterer::tag(5.0, 1.0, f_mod));
+        let map = run_frame(&scene, 128, 4);
+        let c = map.bin_for_freq(f_mod);
+        let single = map.range_slice(c).to_vec();
+        let banded = map.range_slice_banded(c, 1);
+        let idx = grid_index(&map, 5.0);
+        assert!(banded[idx] >= single[idx]);
+    }
+
+    #[test]
+    fn doppler_freq_bins() {
+        let map = RangeDopplerMap {
+            power: vec![vec![0.0; 4]; 8],
+            range_grid: vec![0.0, 1.0, 2.0, 3.0],
+            n_doppler: 8,
+            t_period: 1e-3,
+        };
+        assert_eq!(map.doppler_freq(0), 0.0);
+        assert!((map.doppler_freq(1) - 125.0).abs() < 1e-9);
+        assert!(map.doppler_freq(7) < 0.0);
+        assert_eq!(map.bin_for_freq(125.0), 1);
+        assert_eq!(map.bin_for_freq(1e9), 4); // clamped to Nyquist bin
+    }
+}

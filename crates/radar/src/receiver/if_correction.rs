@@ -1,0 +1,135 @@
+//! IF correction: the slope-varying range-profile alignment of paper §3.3.
+//!
+//! With CSSK, consecutive chirps have different slopes, so the same physical
+//! range maps to a *different* IF frequency (and FFT bin) in every chirp
+//! (eq. 3). Step one converts each chirp's bins to metres with that chirp's
+//! own slope (`r = f_IF · c / 2α`); step two resamples every profile onto a
+//! common uniform range grid by pairwise linear interpolation (eq. 15 and the
+//! rescaling discussion), so slow-time processing sees a static world as
+//! static.
+
+use super::range_profile::bin_freq;
+use biscatter_dsp::complex::Cpx;
+use biscatter_dsp::resample::resample_to_grid;
+use biscatter_rf::chirp::Chirp;
+
+/// The range (metres) of each half-spectrum bin for a given chirp.
+pub fn bin_ranges(chirp: &Chirp, fs: f64, n_fft: usize, n_bins: usize) -> Vec<f64> {
+    (0..n_bins)
+        .map(|k| chirp.range_for_beat_freq(bin_freq(k, n_fft, fs)))
+        .collect()
+}
+
+/// Resamples a complex half-spectrum onto the common `grid` (metres),
+/// interpolating the real and imaginary parts pairwise.
+pub fn to_range_grid(
+    profile: &[Cpx],
+    chirp: &Chirp,
+    fs: f64,
+    n_fft: usize,
+    grid: &[f64],
+) -> Vec<Cpx> {
+    let src = bin_ranges(chirp, fs, n_fft, profile.len());
+    let re: Vec<f64> = profile.iter().map(|z| z.re).collect();
+    let im: Vec<f64> = profile.iter().map(|z| z.im).collect();
+    let re_g = resample_to_grid(&src, &re, grid);
+    let im_g = resample_to_grid(&src, &im, grid);
+    re_g.into_iter()
+        .zip(im_g)
+        .map(|(r, i)| Cpx::new(r, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::range_profile::{complex_profile, power_profile};
+    use biscatter_dsp::resample::linspace;
+    use biscatter_dsp::spectrum::find_peak;
+    use biscatter_rf::if_gen::IfReceiver;
+    use biscatter_rf::scene::{Scatterer, Scene};
+    use biscatter_dsp::signal::NoiseSource;
+
+    fn rx() -> IfReceiver {
+        IfReceiver {
+            sample_rate_hz: 10e6,
+            noise_sigma: 0.0,
+        }
+    }
+
+    #[test]
+    fn bin_ranges_scale_with_slope() {
+        let slow = Chirp::new(9e9, 1e9, 96e-6);
+        let fast = Chirp::new(9e9, 1e9, 20e-6);
+        let r_slow = bin_ranges(&slow, 2e6, 1024, 10);
+        let r_fast = bin_ranges(&fast, 2e6, 1024, 10);
+        // Same bin = same IF frequency = larger range for the *slower* slope.
+        assert!(r_slow[5] > r_fast[5]);
+        let ratio = r_slow[5] / r_fast[5];
+        assert!((ratio - 96.0 / 20.0).abs() < 1e-9);
+        assert_eq!(r_slow[0], 0.0);
+    }
+
+    #[test]
+    fn correction_aligns_different_slopes() {
+        // One static target seen through two very different slopes: after
+        // correction, both profiles peak at the same grid range.
+        let scene = Scene::new().with(Scatterer::clutter(5.0, 1.0));
+        let grid = linspace(0.0, 15.0, 512);
+        let mut noise = NoiseSource::new(1);
+        let mut peaks = Vec::new();
+        for dur in [96e-6, 48e-6, 20e-6] {
+            let chirp = Chirp::new(9e9, 1e9, dur);
+            let samples = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+            let spec = complex_profile(&samples, 1024);
+            let on_grid = to_range_grid(&spec, &chirp, 10e6, 1024, &grid);
+            let power = power_profile(&on_grid);
+            let peak = find_peak(&power).unwrap();
+            let r = peak.refined_bin * (15.0 / 511.0);
+            peaks.push(r);
+        }
+        for &r in &peaks {
+            assert!((r - 5.0).abs() < 0.15, "peak at {r}, expected 5.0");
+        }
+        // And they agree with each other even more tightly.
+        let spread = peaks.iter().cloned().fold(f64::MIN, f64::max)
+            - peaks.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.08, "cross-slope spread {spread}");
+    }
+
+    #[test]
+    fn uncorrected_bins_disagree() {
+        // The same target lands in different *bins* for different slopes —
+        // the Fig. 7(a) ambiguity this module exists to fix.
+        let scene = Scene::new().with(Scatterer::clutter(5.0, 1.0));
+        let mut noise = NoiseSource::new(2);
+        let mut bins = Vec::new();
+        for dur in [96e-6, 20e-6] {
+            let chirp = Chirp::new(9e9, 1e9, dur);
+            let samples = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+            let power = power_profile(&complex_profile(&samples, 1024));
+            bins.push(find_peak(&power).unwrap().bin);
+        }
+        assert!(
+            bins[1] > bins[0] * 3,
+            "fast chirp should push the target to a much higher bin: {bins:?}"
+        );
+    }
+
+    #[test]
+    fn correction_preserves_amplitude() {
+        let scene = Scene::new().with(Scatterer::clutter(4.0, 1.0));
+        let grid = linspace(0.0, 15.0, 1024);
+        let mut noise = NoiseSource::new(3);
+        let chirp = Chirp::new(9e9, 1e9, 96e-6);
+        let samples = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+        let spec = complex_profile(&samples, 1024);
+        let raw_peak = find_peak(&power_profile(&spec)).unwrap().power;
+        let on_grid = to_range_grid(&spec, &chirp, 10e6, 1024, &grid);
+        let grid_peak = find_peak(&power_profile(&on_grid)).unwrap().power;
+        assert!(
+            (grid_peak / raw_peak - 1.0).abs() < 0.2,
+            "amplitude shifted: {grid_peak} vs {raw_peak}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the radar crate: CSSK alphabet identities,
+//! classification robustness, receiver normalization.
+
+use biscatter_link::packet::DownlinkSymbol;
+use biscatter_radar::cssk::CsskAlphabet;
+use biscatter_radar::receiver::range_profile::{complex_profile, power_profile};
+use biscatter_radar::sensing::AlphaBetaTracker;
+use proptest::prelude::*;
+
+fn arb_alphabet() -> impl Strategy<Value = CsskAlphabet> {
+    (1usize..=8, 10e-6f64..30e-6, 100e-6f64..300e-6, 100e6f64..2e9).prop_filter_map(
+        "valid alphabet",
+        |(bits, t_min, t_period, bw)| CsskAlphabet::new(9e9, bw, bits, t_min, t_period).ok(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn classify_inverts_duration(alphabet in arb_alphabet()) {
+        for v in 0..alphabet.n_data_symbols() as u16 {
+            let sym = DownlinkSymbol::Data(v);
+            prop_assert_eq!(alphabet.classify_duration(alphabet.duration_for(sym)), sym);
+        }
+        prop_assert_eq!(
+            alphabet.classify_duration(alphabet.duration_for(DownlinkSymbol::Header)),
+            DownlinkSymbol::Header
+        );
+        prop_assert_eq!(
+            alphabet.classify_duration(alphabet.duration_for(DownlinkSymbol::Sync)),
+            DownlinkSymbol::Sync
+        );
+    }
+
+    #[test]
+    fn classify_tolerates_small_perturbation(
+        alphabet in arb_alphabet(),
+        frac in -0.35f64..0.35,
+        pick in 0.0f64..1.0,
+    ) {
+        let v = (pick * alphabet.n_data_symbols() as f64) as u16;
+        let sym = DownlinkSymbol::Data(v.min(alphabet.n_data_symbols() as u16 - 1));
+        let s = 1.0 / alphabet.duration_for(sym) + frac * alphabet.inv_duration_step();
+        prop_assert_eq!(alphabet.classify_duration(1.0 / s), sym);
+    }
+
+    #[test]
+    fn durations_strictly_decreasing(alphabet in arb_alphabet()) {
+        for w in alphabet.durations().windows(2) {
+            prop_assert!(w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn beat_spacing_uniform(alphabet in arb_alphabet(), dt in 1e-9f64..20e-9) {
+        let beats: Vec<f64> = (0..alphabet.n_data_symbols() as u16)
+            .map(|v| alphabet.beat_freq_for(DownlinkSymbol::Data(v), dt))
+            .collect();
+        if beats.len() >= 2 {
+            let step = beats[1] - beats[0];
+            for w in beats.windows(2) {
+                prop_assert!(((w[1] - w[0]) - step).abs() / step.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn data_rate_scales_with_bits(
+        t_period in 100e-6f64..300e-6,
+        bits in 1usize..=8,
+    ) {
+        if let Ok(a) = CsskAlphabet::new(9e9, 1e9, bits, 15e-6, t_period) {
+            let rate = a.data_rate_bps(t_period);
+            prop_assert!((rate - bits as f64 / t_period).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn range_profile_scales_linearly(
+        amp in 0.1f64..10.0,
+        f_norm in 0.02f64..0.4,
+    ) {
+        let n = 256;
+        let base: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * f_norm * i as f64).cos())
+            .collect();
+        let scaled: Vec<f64> = base.iter().map(|v| v * amp).collect();
+        let p1 = power_profile(&complex_profile(&base, 512));
+        let p2 = power_profile(&complex_profile(&scaled, 512));
+        let m1 = p1.iter().cloned().fold(0.0, f64::max);
+        let m2 = p2.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((m2 / m1 - amp * amp).abs() / (amp * amp) < 1e-6);
+    }
+
+    #[test]
+    fn tracker_converges_on_static_target(r in 0.5f64..20.0) {
+        let mut tracker = AlphaBetaTracker::new(0.5, 0.1);
+        let mut est = 0.0;
+        for _ in 0..50 {
+            est = tracker.update(r, 0.1);
+        }
+        prop_assert!((est - r).abs() < 1e-6);
+        prop_assert!(tracker.velocity().abs() < 1e-6);
+    }
+}

@@ -1,0 +1,305 @@
+//! Dechirped IF-domain sample generation.
+//!
+//! The radar mixes each received reflection with its own transmitted chirp;
+//! a reflector at delay `τ = 2r/c` produces the IF phase
+//!
+//! `φ_IF(t) = φ(t) − φ(t−τ) = 2π (f0 τ + α τ t − α τ² / 2)`
+//!
+//! i.e. a tone at `f_IF = α τ = 2 α r / c` (paper eq. 3) with a
+//! range-dependent phase offset. Simulating *this* domain at the radar's IF
+//! sample rate (MHz) is the standard equivalent-baseband substitution for
+//! full GHz passband simulation (DESIGN.md §5, level 3) — it is phase-exact
+//! for every quantity the receiver measures.
+//!
+//! Tag modulation enters as a time-varying amplitude on the tag's scatterer,
+//! evaluated at *absolute* time so the switch waveform is continuous across
+//! chirps — exactly what the radar's slow-time FFT later exploits.
+
+use crate::chirp::Chirp;
+use crate::scene::Scene;
+use biscatter_dsp::signal::NoiseSource;
+use biscatter_dsp::{SPEED_OF_LIGHT, TAU};
+
+/// IF receiver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IfReceiver {
+    /// IF ADC sample rate, Hz.
+    pub sample_rate_hz: f64,
+    /// Additive white noise standard deviation at the IF output (same
+    /// arbitrary amplitude units as the scene's scatterer amplitudes).
+    pub noise_sigma: f64,
+}
+
+impl IfReceiver {
+    /// Generates the IF samples for one chirp.
+    ///
+    /// * `chirp` — the transmitted sweep,
+    /// * `scene` — the reflectors,
+    /// * `t_start` — absolute start time of this chirp (sets target motion
+    ///   and tag-modulation phase),
+    /// * `noise` — seeded noise source (pass the same source across chirps
+    ///   of a frame for independent noise per chirp).
+    pub fn dechirp(
+        &self,
+        chirp: &Chirp,
+        scene: &Scene,
+        t_start: f64,
+        noise: &mut NoiseSource,
+    ) -> Vec<f64> {
+        let n = chirp.if_samples(self.sample_rate_hz);
+        let alpha = chirp.slope();
+        let mut out = vec![0.0f64; n];
+
+        for s in &scene.scatterers {
+            // Range (hence delay) at the chirp start; intra-chirp motion is
+            // negligible at indoor velocities (µm over 100 µs).
+            let r = s.range_at(t_start);
+            if r <= 0.0 {
+                continue;
+            }
+            let tau = 2.0 * r / SPEED_OF_LIGHT;
+            let f_if = alpha * tau;
+            let phase0 = TAU * (chirp.f0 * tau - 0.5 * alpha * tau * tau);
+            for (i, o) in out.iter_mut().enumerate() {
+                let t = i as f64 / self.sample_rate_hz;
+                let amp = s.amplitude_at(t_start + t);
+                *o += amp * (phase0 + TAU * f_if * t).cos();
+            }
+        }
+
+        if self.noise_sigma > 0.0 {
+            noise.add_awgn(&mut out, self.noise_sigma);
+        }
+        out
+    }
+
+    /// Generates IF samples for one chirp at every antenna of a uniform
+    /// linear RX array with `spacing_wavelengths` element pitch. A scatterer
+    /// at azimuth `θ` arrives at antenna `k` with an extra phase of
+    /// `2π k d_λ sin θ` (the narrowband array model); noise is independent
+    /// per antenna.
+    pub fn dechirp_array(
+        &self,
+        chirp: &Chirp,
+        scene: &Scene,
+        t_start: f64,
+        n_rx: usize,
+        spacing_wavelengths: f64,
+        noise: &mut NoiseSource,
+    ) -> Vec<Vec<f64>> {
+        let n = chirp.if_samples(self.sample_rate_hz);
+        let alpha = chirp.slope();
+        let mut out = vec![vec![0.0f64; n]; n_rx];
+
+        for s in &scene.scatterers {
+            let r = s.range_at(t_start);
+            if r <= 0.0 {
+                continue;
+            }
+            let tau = 2.0 * r / SPEED_OF_LIGHT;
+            let f_if = alpha * tau;
+            let phase0 = TAU * (chirp.f0 * tau - 0.5 * alpha * tau * tau);
+            let array_phase = TAU * spacing_wavelengths * s.azimuth_rad.sin();
+            for (k, rx) in out.iter_mut().enumerate() {
+                let phase_k = phase0 + k as f64 * array_phase;
+                for (i, o) in rx.iter_mut().enumerate() {
+                    let t = i as f64 / self.sample_rate_hz;
+                    let amp = s.amplitude_at(t_start + t);
+                    *o += amp * (phase_k + TAU * f_if * t).cos();
+                }
+            }
+        }
+        if self.noise_sigma > 0.0 {
+            for rx in out.iter_mut() {
+                noise.add_awgn(rx, self.noise_sigma);
+            }
+        }
+        out
+    }
+
+    /// Multi-antenna variant of [`IfReceiver::dechirp_train`]: returns
+    /// `captures[antenna][chirp]`.
+    pub fn dechirp_train_array(
+        &self,
+        train: &crate::frame::ChirpTrain,
+        scene: &Scene,
+        t_frame_start: f64,
+        n_rx: usize,
+        spacing_wavelengths: f64,
+        noise: &mut NoiseSource,
+    ) -> Vec<Vec<Vec<f64>>> {
+        let mut per_rx: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_rx];
+        for (t0, slot) in train.iter_timed() {
+            let per_antenna = self.dechirp_array(
+                &slot.chirp,
+                scene,
+                t_frame_start + t0,
+                n_rx,
+                spacing_wavelengths,
+                noise,
+            );
+            for (k, capture) in per_antenna.into_iter().enumerate() {
+                per_rx[k].push(capture);
+            }
+        }
+        per_rx
+    }
+
+    /// Generates IF samples for every chirp of a train (absolute-time
+    /// aligned), returning one `Vec` per chirp.
+    pub fn dechirp_train(
+        &self,
+        train: &crate::frame::ChirpTrain,
+        scene: &Scene,
+        t_frame_start: f64,
+        noise: &mut NoiseSource,
+    ) -> Vec<Vec<f64>> {
+        train
+            .iter_timed()
+            .map(|(t0, slot)| self.dechirp(&slot.chirp, scene, t_frame_start + t0, noise))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ChirpTrain;
+    use crate::scene::{Scatterer, TagModulation};
+    use biscatter_dsp::spectrum::{find_peak, periodogram};
+    use biscatter_dsp::window::WindowKind;
+
+    fn rx() -> IfReceiver {
+        IfReceiver {
+            sample_rate_hz: 2e6,
+            noise_sigma: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_target_beat_frequency() {
+        let chirp = Chirp::new(9e9, 1e9, 100e-6);
+        let scene = Scene::new().with(Scatterer::clutter(5.0, 1.0));
+        let mut noise = NoiseSource::new(1);
+        let samples = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+        assert_eq!(samples.len(), 200);
+        let (freqs, power) = periodogram(&samples, 2e6, WindowKind::Hann);
+        let peak = find_peak(&power).unwrap();
+        let f_est = peak.refined_bin * freqs[1];
+        let f_expected = chirp.beat_freq_for_range(5.0);
+        assert!(
+            (f_est - f_expected).abs() < 8e3,
+            "got {f_est}, expected {f_expected}"
+        );
+    }
+
+    #[test]
+    fn two_targets_two_peaks() {
+        let chirp = Chirp::new(9e9, 1e9, 200e-6);
+        let scene = Scene::new()
+            .with(Scatterer::clutter(2.0, 1.0))
+            .with(Scatterer::clutter(6.0, 1.0));
+        let mut noise = NoiseSource::new(2);
+        let samples = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+        let (freqs, power) = periodogram(&samples, 2e6, WindowKind::Hann);
+        let df = freqs[1];
+        let f2 = chirp.beat_freq_for_range(2.0);
+        let f6 = chirp.beat_freq_for_range(6.0);
+        let bin = |f: f64| (f / df).round() as usize;
+        // Power near each expected beat should dominate the floor.
+        let floor: f64 = power.iter().sum::<f64>() / power.len() as f64;
+        assert!(power[bin(f2)] > 10.0 * floor);
+        assert!(power[bin(f6)] > 10.0 * floor);
+    }
+
+    #[test]
+    fn amplitude_scales_power() {
+        let chirp = Chirp::new(9e9, 1e9, 100e-6);
+        let mut noise = NoiseSource::new(3);
+        let strong = rx().dechirp(
+            &chirp,
+            &Scene::new().with(Scatterer::clutter(4.0, 2.0)),
+            0.0,
+            &mut noise,
+        );
+        let weak = rx().dechirp(
+            &chirp,
+            &Scene::new().with(Scatterer::clutter(4.0, 1.0)),
+            0.0,
+            &mut noise,
+        );
+        let p = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        assert!((p(&strong) / p(&weak) - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn moving_target_shifts_range_over_time() {
+        let chirp = Chirp::new(9e9, 1e9, 100e-6);
+        let scene = Scene::new().with(Scatterer::mover(5.0, 10.0, 1.0));
+        let mut noise = NoiseSource::new(4);
+        let early = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+        let late = rx().dechirp(&chirp, &scene, 0.1, &mut noise); // +1 m
+        let peak_freq = |v: &[f64]| {
+            let (freqs, power) = periodogram(v, 2e6, WindowKind::Hann);
+            find_peak(&power).unwrap().refined_bin * freqs[1]
+        };
+        let f_early = peak_freq(&early);
+        let f_late = peak_freq(&late);
+        let df_expected = chirp.beat_freq_for_range(6.0) - chirp.beat_freq_for_range(5.0);
+        assert!(
+            ((f_late - f_early) - df_expected).abs() < 0.2 * df_expected,
+            "shift {} vs expected {}",
+            f_late - f_early,
+            df_expected
+        );
+    }
+
+    #[test]
+    fn tag_modulation_gates_chirps() {
+        // Tag toggling at half the chirp rate: alternate chirps see the tag
+        // on/off. Modulation freq chosen so chirp starts land on opposite
+        // half-cycles.
+        let period = 100e-6;
+        let chirps = vec![Chirp::new(9e9, 1e9, 80e-6); 4];
+        let train = ChirpTrain::with_fixed_period(&chirps, period).unwrap();
+        let mod_freq = 1.0 / (2.0 * period); // 5 kHz
+        let mut tag = Scatterer::tag(4.0, 1.0, mod_freq);
+        tag.leak = 0.0;
+        tag.modulation = TagModulation::Subcarrier {
+            freq_hz: mod_freq,
+            duty: 0.5,
+        };
+        let scene = Scene::new().with(tag);
+        let mut noise = NoiseSource::new(5);
+        let per_chirp = rx().dechirp_train(&train, &scene, 0.0, &mut noise);
+        let p = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        // Chirps 0, 2 on; 1, 3 off (leak = 0).
+        assert!(p(&per_chirp[0]) > 1.0);
+        assert!(p(&per_chirp[1]) < 1e-9);
+        assert!(p(&per_chirp[2]) > 1.0);
+        assert!(p(&per_chirp[3]) < 1e-9);
+    }
+
+    #[test]
+    fn noise_changes_between_chirps() {
+        let chirp = Chirp::new(9e9, 1e9, 50e-6);
+        let scene = Scene::new();
+        let receiver = IfReceiver {
+            sample_rate_hz: 2e6,
+            noise_sigma: 0.1,
+        };
+        let mut noise = NoiseSource::new(6);
+        let a = receiver.dechirp(&chirp, &scene, 0.0, &mut noise);
+        let b = receiver.dechirp(&chirp, &scene, 0.0, &mut noise);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn behind_radar_ignored() {
+        let chirp = Chirp::new(9e9, 1e9, 50e-6);
+        let scene = Scene::new().with(Scatterer::clutter(-1.0, 1.0));
+        let mut noise = NoiseSource::new(7);
+        let samples = rx().dechirp(&chirp, &scene, 0.0, &mut noise);
+        assert!(samples.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the RF substrate: waveform identities, channel
+//! monotonicity, component model invariants.
+
+use biscatter_rf::channel::{fspl_db, OneWayLink, TwoWayLink};
+use biscatter_rf::chirp::Chirp;
+use biscatter_rf::components::delay_line::{DelayLine, DelayLinePair};
+use biscatter_rf::frame::{ChirpTrain, MAX_DUTY};
+use biscatter_rf::scene::TagModulation;
+use proptest::prelude::*;
+
+fn arb_chirp() -> impl Strategy<Value = Chirp> {
+    (1e9f64..30e9, 100e6f64..4e9, 10e-6f64..300e-6)
+        .prop_map(|(f0, b, t)| Chirp::new(f0, b, t))
+}
+
+proptest! {
+    #[test]
+    fn chirp_phase_derivative_is_instantaneous_freq(
+        chirp in arb_chirp(),
+        frac in 0.05f64..0.95,
+    ) {
+        let t = frac * chirp.duration;
+        let dt = chirp.duration * 1e-7;
+        let f_num = (chirp.phase(t + dt) - chirp.phase(t - dt))
+            / (2.0 * dt)
+            / std::f64::consts::TAU;
+        let f_ana = chirp.instantaneous_freq(t);
+        prop_assert!((f_num - f_ana).abs() / f_ana < 1e-5);
+    }
+
+    #[test]
+    fn chirp_beat_range_roundtrip(chirp in arb_chirp(), r in 0.1f64..100.0) {
+        let f = chirp.beat_freq_for_range(r);
+        prop_assert!((chirp.range_for_beat_freq(f) - r).abs() < 1e-9);
+        prop_assert!(f > 0.0);
+    }
+
+    #[test]
+    fn chirp_sweep_covers_bandwidth(chirp in arb_chirp()) {
+        let start = chirp.instantaneous_freq(0.0);
+        let stop = chirp.instantaneous_freq(chirp.duration);
+        prop_assert!((stop - start - chirp.bandwidth).abs() / chirp.bandwidth < 1e-9);
+    }
+
+    #[test]
+    fn fspl_monotone_in_distance_and_frequency(
+        d1 in 0.1f64..100.0,
+        scale in 1.01f64..10.0,
+        f in 1e9f64..80e9,
+    ) {
+        prop_assert!(fspl_db(d1 * scale, f) > fspl_db(d1, f));
+        prop_assert!(fspl_db(d1, f * scale) > fspl_db(d1, f));
+    }
+
+    #[test]
+    fn one_way_link_power_decreases(
+        d in 0.5f64..50.0,
+        tx in -10.0f64..20.0,
+        g in 0.0f64..20.0,
+    ) {
+        let link = OneWayLink {
+            tx_power_dbm: tx,
+            tx_gain_dbi: g,
+            rx_gain_dbi: g,
+            freq_hz: 9.5e9,
+        };
+        prop_assert!(link.rx_power_dbm(d * 2.0) < link.rx_power_dbm(d));
+        // Doubling distance costs exactly 6.02 dB one-way.
+        let drop = link.rx_power_dbm(d) - link.rx_power_dbm(d * 2.0);
+        prop_assert!((drop - 6.0206).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_way_link_slope_is_40db_per_decade(
+        d in 0.5f64..20.0,
+        rcs in -40.0f64..10.0,
+    ) {
+        let link = TwoWayLink {
+            tx_power_dbm: 7.0,
+            radar_gain_dbi: 10.0,
+            freq_hz: 9.5e9,
+            tag_rcs_dbsm: rcs,
+            misc_loss_db: 5.0,
+        };
+        let drop = link.rx_power_dbm(d) - link.rx_power_dbm(d * 10.0);
+        prop_assert!((drop - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_pair_beat_matches_eq11(
+        delta_l in 0.05f64..3.0,
+        b in 100e6f64..2e9,
+        t in 10e-6f64..300e-6,
+    ) {
+        let pair = DelayLinePair::from_difference(DelayLine::coax(0.0, 9.5e9), 0.1, delta_l);
+        let measured = pair.beat_freq(b, t);
+        let expected = b * delta_l / (t * 0.7 * 299_792_458.0);
+        prop_assert!((measured - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn train_respects_duty_constraint(
+        durations in prop::collection::vec(10e-6f64..96e-6, 1..32),
+    ) {
+        let period = 120e-6;
+        let chirps: Vec<Chirp> = durations.iter().map(|&d| Chirp::new(9e9, 1e9, d)).collect();
+        let result = ChirpTrain::with_fixed_period(&chirps, period);
+        let max_dur = durations.iter().cloned().fold(0.0, f64::max);
+        if max_dur <= MAX_DUTY * period + 1e-15 {
+            let train = result.unwrap();
+            prop_assert!(train.is_uniform_period(1e-12));
+            prop_assert!((train.duration() - period * durations.len() as f64).abs() < 1e-9);
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn modulation_reflectivity_bounded(
+        t in 0.0f64..1.0,
+        freq in 10.0f64..100e3,
+        duty in 0.01f64..0.99,
+        leak in 0.0f64..0.2,
+    ) {
+        let m = TagModulation::Subcarrier { freq_hz: freq, duty };
+        let r = m.reflectivity(t, leak);
+        prop_assert!(r == 1.0 || r == leak);
+    }
+
+    #[test]
+    fn subcarrier_duty_cycle_measured(
+        freq in 100.0f64..10e3,
+        duty in 0.1f64..0.9,
+    ) {
+        let m = TagModulation::Subcarrier { freq_hz: freq, duty };
+        let n = 20_000;
+        let span = 20.0 / freq; // 20 cycles
+        let on = (0..n)
+            .filter(|&i| m.reflectivity(i as f64 * span / n as f64, 0.0) == 1.0)
+            .count();
+        let measured = on as f64 / n as f64;
+        prop_assert!((measured - duty).abs() < 0.02, "duty {} vs {}", measured, duty);
+    }
+}

@@ -1,0 +1,328 @@
+//! Per-slot CSSK symbol decisions.
+//!
+//! For each slot, the decoder evaluates a matched Goertzel bank: candidate
+//! symbol `s` has chirp duration `T_s` and expected beat frequency `f_s`
+//! (from the alphabet and the tag's calibrated `ΔT`). The detector computes
+//! the mean-removed Goertzel power of the first `T_s` of the slot at `f_s`,
+//! normalized by the window length squared (so long and short candidates
+//! compare fairly), and picks the argmax — the low-power ML-style detector
+//! the paper's §3.2.2/§4.1 Goertzel discussion points to.
+
+use biscatter_dsp::goertzel::goertzel_power;
+use biscatter_link::packet::DownlinkSymbol;
+use biscatter_radar::cssk::CsskAlphabet;
+
+/// One candidate in the decision bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The symbol this candidate decodes to.
+    pub symbol: DownlinkSymbol,
+    /// Chirp duration of the symbol, s.
+    pub duration_s: f64,
+    /// Expected beat frequency at the tag, Hz.
+    pub beat_freq_hz: f64,
+}
+
+/// The symbol decision bank.
+#[derive(Debug, Clone)]
+pub struct SymbolDecider {
+    /// All candidates: header, every data value, sync.
+    pub candidates: Vec<Candidate>,
+    /// ADC sample rate, Hz.
+    pub fs: f64,
+}
+
+impl SymbolDecider {
+    /// Builds the bank from the air-interface alphabet and the tag's
+    /// differential delay `ΔT` (ideal, uncalibrated — see
+    /// [`crate::calibration`] for the measured variant).
+    pub fn from_alphabet(alphabet: &CsskAlphabet, delta_t_s: f64, fs: f64) -> Self {
+        let mut candidates = Vec::with_capacity(alphabet.n_slopes());
+        candidates.push(Candidate {
+            symbol: DownlinkSymbol::Header,
+            duration_s: alphabet.duration_for(DownlinkSymbol::Header),
+            beat_freq_hz: alphabet.beat_freq_for(DownlinkSymbol::Header, delta_t_s),
+        });
+        for v in 0..alphabet.n_data_symbols() as u16 {
+            let s = DownlinkSymbol::Data(v);
+            candidates.push(Candidate {
+                symbol: s,
+                duration_s: alphabet.duration_for(s),
+                beat_freq_hz: alphabet.beat_freq_for(s, delta_t_s),
+            });
+        }
+        candidates.push(Candidate {
+            symbol: DownlinkSymbol::Sync,
+            duration_s: alphabet.duration_for(DownlinkSymbol::Sync),
+            beat_freq_hz: alphabet.beat_freq_for(DownlinkSymbol::Sync, delta_t_s),
+        });
+        SymbolDecider { candidates, fs }
+    }
+
+    /// Builds the bank from measured (calibrated) beat frequencies.
+    pub fn from_candidates(candidates: Vec<Candidate>, fs: f64) -> Self {
+        SymbolDecider { candidates, fs }
+    }
+
+    /// Decides the symbol in one slot's samples (`slot` should span the
+    /// whole `T_period`). Returns the winning symbol and its normalized
+    /// score.
+    pub fn decide_slot(&self, slot: &[f64]) -> (DownlinkSymbol, f64) {
+        let mut best = (DownlinkSymbol::Header, f64::NEG_INFINITY);
+        for c in &self.candidates {
+            let score = self.candidate_score(slot, c);
+            if score > best.1 {
+                best = (c.symbol, score);
+            }
+        }
+        best
+    }
+
+    /// The normalized matched score of one candidate on a slot.
+    ///
+    /// A Hann window is applied before the Goertzel evaluation: with only a
+    /// handful of beat cycles per chirp, the negative-frequency image of the
+    /// real envelope tone otherwise leaks phase-dependent energy into
+    /// neighbouring candidates and can deterministically flip adjacent-slope
+    /// decisions even at high SNR.
+    pub fn candidate_score(&self, slot: &[f64], c: &Candidate) -> f64 {
+        let n = ((c.duration_s * self.fs).round() as usize).min(slot.len());
+        if n < 4 {
+            return f64::NEG_INFINITY;
+        }
+        let window = &slot[..n];
+        let mean = window.iter().sum::<f64>() / n as f64;
+        let ac: Vec<f64> = window
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let w = 0.5 - 0.5 * (std::f64::consts::TAU * i as f64 / n as f64).cos();
+                (x - mean) * w
+            })
+            .collect();
+        goertzel_power(&ac, c.beat_freq_hz / self.fs) / (n as f64 * n as f64)
+    }
+
+    /// Decodes a run of consecutive slots (each `period_samples` long) from a
+    /// slot-aligned stream.
+    pub fn decide_stream(
+        &self,
+        samples: &[f64],
+        period_samples: usize,
+    ) -> Vec<DownlinkSymbol> {
+        if period_samples == 0 {
+            return Vec::new();
+        }
+        samples
+            .chunks_exact(period_samples)
+            .map(|slot| self.decide_slot(slot).0)
+            .collect()
+    }
+
+    /// Like [`SymbolDecider::decide_stream_at`] but also returns the summed
+    /// winning-candidate score — the decoder's own measure of how well a
+    /// (period, offset) hypothesis fits, used for fine timing refinement.
+    pub fn decide_stream_scored(
+        &self,
+        samples: &[f64],
+        period: f64,
+        offset: usize,
+    ) -> (Vec<DownlinkSymbol>, f64) {
+        if period < 4.0 {
+            return (Vec::new(), f64::NEG_INFINITY);
+        }
+        let plen = period.round() as usize;
+        let mut out = Vec::new();
+        let mut total = 0.0;
+        let mut k = 0usize;
+        loop {
+            let start = (offset as f64 + k as f64 * period).round() as usize;
+            if start >= samples.len() {
+                break;
+            }
+            let end = start + plen;
+            if end <= samples.len() {
+                let (sym, score) = self.decide_slot(&samples[start..end]);
+                out.push(sym);
+                total += score;
+            } else {
+                let avail = samples.len() - start;
+                if avail * 2 < plen {
+                    break;
+                }
+                let mut slot = samples[start..].to_vec();
+                slot.resize(plen, 0.0);
+                let (sym, score) = self.decide_slot(&slot);
+                out.push(sym);
+                total += score;
+                break;
+            }
+            k += 1;
+        }
+        (out, total)
+    }
+
+    /// Decodes slots at fractional-period spacing: slot `k` starts at sample
+    /// `round(offset + k * period)`. Avoids the cumulative drift that integer
+    /// chunking suffers when the estimated period is off by a fraction of a
+    /// sample. The trailing partial slot (if ≥ half a period) is zero-padded
+    /// and decided too.
+    pub fn decide_stream_at(
+        &self,
+        samples: &[f64],
+        period: f64,
+        offset: usize,
+    ) -> Vec<DownlinkSymbol> {
+        if period < 4.0 {
+            return Vec::new();
+        }
+        let plen = period.round() as usize;
+        let mut out = Vec::new();
+        let mut k = 0usize;
+        loop {
+            let start = (offset as f64 + k as f64 * period).round() as usize;
+            if start >= samples.len() {
+                break;
+            }
+            let end = start + plen;
+            if end <= samples.len() {
+                out.push(self.decide_slot(&samples[start..end]).0);
+            } else {
+                let avail = samples.len() - start;
+                if avail * 2 < plen {
+                    break;
+                }
+                let mut slot = samples[start..].to_vec();
+                slot.resize(plen, 0.0);
+                out.push(self.decide_slot(&slot).0);
+                break;
+            }
+            k += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biscatter_dsp::signal::NoiseSource;
+    use biscatter_radar::cssk::CsskAlphabet;
+    use biscatter_rf::frame::ChirpTrain;
+    use biscatter_rf::inches_to_m;
+    use biscatter_rf::tag_frontend::TagFrontEnd;
+
+    fn setup(bits: usize) -> (CsskAlphabet, TagFrontEnd, SymbolDecider) {
+        let alphabet = CsskAlphabet::new(9e9, 1e9, bits, 20e-6, 120e-6).unwrap();
+        let fe = TagFrontEnd::coax_prototype(inches_to_m(45.0), 9.5e9);
+        let delta_t = fe.pair.delta_t();
+        let decider = SymbolDecider::from_alphabet(&alphabet, delta_t, fe.adc.sample_rate_hz);
+        (alphabet, fe, decider)
+    }
+
+    fn capture_symbols(
+        alphabet: &CsskAlphabet,
+        fe: &TagFrontEnd,
+        symbols: &[DownlinkSymbol],
+        snr_db: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let chirps: Vec<_> = symbols.iter().map(|&s| alphabet.chirp_for(s)).collect();
+        let train = ChirpTrain::with_fixed_period(&chirps, 120e-6).unwrap();
+        let mut noise = NoiseSource::new(seed);
+        fe.capture_train(&train, snr_db, 0.0, &mut noise)
+    }
+
+    #[test]
+    fn bank_has_all_candidates() {
+        let (alphabet, _, decider) = setup(5);
+        assert_eq!(decider.candidates.len(), alphabet.n_slopes());
+        assert_eq!(decider.candidates[0].symbol, DownlinkSymbol::Header);
+        assert_eq!(
+            decider.candidates.last().unwrap().symbol,
+            DownlinkSymbol::Sync
+        );
+    }
+
+    #[test]
+    fn decodes_every_symbol_at_high_snr() {
+        let (alphabet, fe, decider) = setup(4);
+        let symbols: Vec<DownlinkSymbol> = (0..16).map(DownlinkSymbol::Data).collect();
+        let stream = capture_symbols(&alphabet, &fe, &symbols, 35.0, 1);
+        let decided = decider.decide_stream(&stream, 120);
+        assert_eq!(decided, symbols);
+    }
+
+    #[test]
+    fn decodes_header_and_sync() {
+        let (alphabet, fe, decider) = setup(5);
+        let symbols = vec![
+            DownlinkSymbol::Header,
+            DownlinkSymbol::Header,
+            DownlinkSymbol::Sync,
+            DownlinkSymbol::Data(20),
+        ];
+        let stream = capture_symbols(&alphabet, &fe, &symbols, 30.0, 2);
+        let decided = decider.decide_stream(&stream, 120);
+        assert_eq!(decided, symbols);
+    }
+
+    #[test]
+    fn survives_moderate_noise() {
+        let (alphabet, fe, decider) = setup(5);
+        let symbols: Vec<DownlinkSymbol> =
+            (0..32).map(|i| DownlinkSymbol::Data(i % 32)).collect();
+        let stream = capture_symbols(&alphabet, &fe, &symbols, 18.0, 3);
+        let decided = decider.decide_stream(&stream, 120);
+        let errors = decided
+            .iter()
+            .zip(&symbols)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(errors <= 1, "{errors} symbol errors at 18 dB");
+    }
+
+    #[test]
+    fn errors_are_adjacent_symbols() {
+        // At low SNR, when a symbol errs it should usually err to a
+        // neighbouring slope (the premise of Gray coding).
+        let (alphabet, fe, decider) = setup(6);
+        let symbols: Vec<DownlinkSymbol> =
+            (0..64).map(|i| DownlinkSymbol::Data(i % 64)).collect();
+        let stream = capture_symbols(&alphabet, &fe, &symbols, 6.0, 4);
+        let decided = decider.decide_stream(&stream, 120);
+        let mut errors = 0;
+        let mut adjacent = 0;
+        for (d, s) in decided.iter().zip(&symbols) {
+            if let (DownlinkSymbol::Data(a), DownlinkSymbol::Data(b)) = (d, s) {
+                if a != b {
+                    errors += 1;
+                    if a.abs_diff(*b) <= 2 {
+                        adjacent += 1;
+                    }
+                }
+            }
+        }
+        if errors >= 4 {
+            assert!(
+                adjacent * 2 >= errors,
+                "only {adjacent}/{errors} errors were near-adjacent"
+            );
+        }
+    }
+
+    #[test]
+    fn short_slot_scores_low() {
+        let (_, _, decider) = setup(5);
+        let tiny = vec![0.0; 3];
+        let c = decider.candidates[0];
+        assert_eq!(decider.candidate_score(&tiny, &c), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let (_, _, decider) = setup(3);
+        assert!(decider.decide_stream(&[], 120).is_empty());
+        assert!(decider.decide_stream(&[0.0; 500], 0).is_empty());
+    }
+}

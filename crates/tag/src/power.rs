@@ -1,0 +1,176 @@
+//! Tag power model (paper §4.1).
+//!
+//! The prototype's budget: ADRF5144 switch 2.86 µW, ADL6010 envelope
+//! detector 8 mW, MCU at 1 MHz ≈ 40 mW — ≈ 48 mW total in **continuous**
+//! communication-and-sensing mode. In **sequential** mode the MCU sleeps
+//! during uplink intervals (switch PWM needs < 3 µW), so the average drops
+//! with the downlink duty cycle. A custom-IC projection (MOSFET switch,
+//! op-amp detector, Walden-FoM ADC, Goertzel instead of FFT) reaches ~4 mW.
+
+/// Power draw of the tag's components, watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentPowers {
+    /// RF switch static draw.
+    pub switch_w: f64,
+    /// Envelope detector.
+    pub envelope_detector_w: f64,
+    /// MCU running the decoder (active).
+    pub mcu_active_w: f64,
+    /// MCU in sleep mode.
+    pub mcu_sleep_w: f64,
+    /// Switch PWM drive while the MCU sleeps.
+    pub pwm_w: f64,
+}
+
+impl ComponentPowers {
+    /// The paper's prototype values (§4.1).
+    pub fn prototype() -> Self {
+        ComponentPowers {
+            switch_w: 2.86e-6,
+            envelope_detector_w: 8e-3,
+            mcu_active_w: 40e-3,
+            mcu_sleep_w: 1e-6,
+            pwm_w: 3e-6,
+        }
+    }
+
+    /// The paper's custom-IC projection: MOSFET switch, op-amp envelope
+    /// detection, low-power ADC (Walden FoM), Goertzel on a tiny core.
+    pub fn custom_ic_projection() -> Self {
+        ComponentPowers {
+            switch_w: 0.5e-6,
+            envelope_detector_w: 0.8e-3,
+            mcu_active_w: 3.2e-3,
+            mcu_sleep_w: 0.2e-6,
+            pwm_w: 1e-6,
+        }
+    }
+}
+
+/// Operating modes (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperatingMode {
+    /// Simultaneous, continuous uplink + downlink: everything always on.
+    Continuous,
+    /// Alternating uplink/downlink; MCU sleeps during the uplink fraction.
+    /// The field is the fraction of time spent in downlink (MCU awake),
+    /// in `[0, 1]`.
+    Sequential {
+        /// Fraction of time in downlink/decode (MCU active).
+        downlink_fraction: f64,
+    },
+}
+
+/// Computes average tag power in watts for a mode.
+///
+/// # Examples
+///
+/// ```
+/// use biscatter_tag::power::{average_power_w, ComponentPowers, OperatingMode};
+///
+/// // The paper's §4.1 headline: ~48 mW continuous.
+/// let p = average_power_w(&ComponentPowers::prototype(), OperatingMode::Continuous);
+/// assert!((p * 1e3 - 48.0).abs() < 0.5);
+/// ```
+pub fn average_power_w(components: &ComponentPowers, mode: OperatingMode) -> f64 {
+    match mode {
+        OperatingMode::Continuous => {
+            components.switch_w + components.envelope_detector_w + components.mcu_active_w
+        }
+        OperatingMode::Sequential { downlink_fraction } => {
+            let d = downlink_fraction.clamp(0.0, 1.0);
+            // Downlink: switch + detector + MCU active.
+            let down =
+                components.switch_w + components.envelope_detector_w + components.mcu_active_w;
+            // Uplink: switch + PWM + sleeping MCU; detector can gate off.
+            let up = components.switch_w + components.pwm_w + components.mcu_sleep_w;
+            d * down + (1.0 - d) * up
+        }
+    }
+}
+
+/// Convenience: milliwatts.
+pub fn average_power_mw(components: &ComponentPowers, mode: OperatingMode) -> f64 {
+    average_power_w(components, mode) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_matches_paper_48mw() {
+        let p = average_power_mw(&ComponentPowers::prototype(), OperatingMode::Continuous);
+        assert!((p - 48.0).abs() < 0.5, "got {p} mW");
+    }
+
+    #[test]
+    fn custom_ic_near_4mw() {
+        let p = average_power_mw(
+            &ComponentPowers::custom_ic_projection(),
+            OperatingMode::Continuous,
+        );
+        assert!((p - 4.0).abs() < 0.5, "got {p} mW");
+    }
+
+    #[test]
+    fn sequential_saves_power() {
+        let c = ComponentPowers::prototype();
+        let continuous = average_power_w(&c, OperatingMode::Continuous);
+        for frac in [0.0, 0.1, 0.5, 0.9] {
+            let seq = average_power_w(
+                &c,
+                OperatingMode::Sequential {
+                    downlink_fraction: frac,
+                },
+            );
+            assert!(seq < continuous, "fraction {frac}: {seq} vs {continuous}");
+        }
+    }
+
+    #[test]
+    fn sequential_uplink_only_is_microwatts() {
+        let c = ComponentPowers::prototype();
+        let p = average_power_w(
+            &c,
+            OperatingMode::Sequential {
+                downlink_fraction: 0.0,
+            },
+        );
+        assert!(p < 10e-6, "uplink-only draw {p} W");
+    }
+
+    #[test]
+    fn sequential_interpolates_monotonically() {
+        let c = ComponentPowers::prototype();
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let p = average_power_w(
+                &c,
+                OperatingMode::Sequential {
+                    downlink_fraction: i as f64 / 10.0,
+                },
+            );
+            assert!(p > last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        let c = ComponentPowers::prototype();
+        let over = average_power_w(
+            &c,
+            OperatingMode::Sequential {
+                downlink_fraction: 2.0,
+            },
+        );
+        let one = average_power_w(
+            &c,
+            OperatingMode::Sequential {
+                downlink_fraction: 1.0,
+            },
+        );
+        assert_eq!(over, one);
+    }
+}

@@ -1,0 +1,222 @@
+//! Sequential uplink/downlink scheduling (paper §4.1).
+//!
+//! When simultaneous sensing-and-communication is not required, the tag
+//! alternates between a **downlink window** (MCU awake, decoding) and an
+//! **uplink window** (MCU asleep, PWM drives the switch at < 3 µW). The
+//! paper: "substantial power savings can be achieved … We emphasize the
+//! importance of tuning the downlink/uplink frequency to optimize the tag's
+//! overall power consumption." This module does that tuning: it sizes the
+//! windows from the application's traffic demands and evaluates the
+//! resulting average power.
+
+use crate::power::{average_power_w, ComponentPowers, OperatingMode};
+
+/// An alternating downlink/uplink schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialSchedule {
+    /// Time spent decoding per cycle, seconds.
+    pub downlink_window_s: f64,
+    /// Time spent modulating (MCU asleep) per cycle, seconds.
+    pub uplink_window_s: f64,
+}
+
+/// Which mode the tag is in at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Decoding downlink (MCU active).
+    Downlink,
+    /// Modulating uplink (MCU asleep, PWM active).
+    Uplink,
+}
+
+/// Errors sizing a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Demanded throughput exceeds what the link rates can deliver even at
+    /// 100% duty on that direction.
+    Infeasible {
+        /// The direction that cannot keep up.
+        phase: Phase,
+    },
+    /// Non-positive rates or demands.
+    BadInput,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Infeasible { phase } => {
+                write!(f, "traffic demand infeasible for {phase:?}")
+            }
+            ScheduleError::BadInput => write!(f, "rates and demands must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl SequentialSchedule {
+    /// Cycle period.
+    pub fn cycle_s(&self) -> f64 {
+        self.downlink_window_s + self.uplink_window_s
+    }
+
+    /// Fraction of time in the downlink phase.
+    pub fn downlink_fraction(&self) -> f64 {
+        if self.cycle_s() <= 0.0 {
+            0.0
+        } else {
+            self.downlink_window_s / self.cycle_s()
+        }
+    }
+
+    /// The phase at absolute time `t`.
+    pub fn phase_at(&self, t: f64) -> Phase {
+        let c = self.cycle_s();
+        if c <= 0.0 {
+            return Phase::Downlink;
+        }
+        if t.rem_euclid(c) < self.downlink_window_s {
+            Phase::Downlink
+        } else {
+            Phase::Uplink
+        }
+    }
+
+    /// Average tag power under this schedule, watts.
+    pub fn average_power_w(&self, components: &ComponentPowers) -> f64 {
+        average_power_w(
+            components,
+            OperatingMode::Sequential {
+                downlink_fraction: self.downlink_fraction(),
+            },
+        )
+    }
+
+    /// Effective data throughput each way, bits/s, given the raw link rates.
+    pub fn throughput_bps(&self, downlink_rate_bps: f64, uplink_rate_bps: f64) -> (f64, f64) {
+        let d = self.downlink_fraction();
+        (downlink_rate_bps * d, uplink_rate_bps * (1.0 - d))
+    }
+
+    /// Sizes the minimal-power schedule that satisfies the application's
+    /// demands: at least `dl_demand_bps` of downlink and `ul_demand_bps` of
+    /// uplink given the raw per-direction link rates. Since downlink time is
+    /// what costs power (MCU awake), the optimizer allocates exactly the
+    /// downlink fraction demanded and gives the rest to uplink.
+    ///
+    /// `cycle_s` sets the alternation period (latency granularity).
+    pub fn for_traffic(
+        dl_demand_bps: f64,
+        ul_demand_bps: f64,
+        downlink_rate_bps: f64,
+        uplink_rate_bps: f64,
+        cycle_s: f64,
+    ) -> Result<SequentialSchedule, ScheduleError> {
+        if dl_demand_bps < 0.0
+            || ul_demand_bps < 0.0
+            || downlink_rate_bps <= 0.0
+            || uplink_rate_bps <= 0.0
+            || cycle_s <= 0.0
+        {
+            return Err(ScheduleError::BadInput);
+        }
+        let d_frac = dl_demand_bps / downlink_rate_bps;
+        let u_frac = ul_demand_bps / uplink_rate_bps;
+        if d_frac > 1.0 {
+            return Err(ScheduleError::Infeasible {
+                phase: Phase::Downlink,
+            });
+        }
+        if u_frac > 1.0 - d_frac {
+            return Err(ScheduleError::Infeasible {
+                phase: Phase::Uplink,
+            });
+        }
+        Ok(SequentialSchedule {
+            downlink_window_s: d_frac * cycle_s,
+            uplink_window_s: (1.0 - d_frac) * cycle_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_and_phase() {
+        let s = SequentialSchedule {
+            downlink_window_s: 0.25,
+            uplink_window_s: 0.75,
+        };
+        assert!((s.downlink_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(s.phase_at(0.1), Phase::Downlink);
+        assert_eq!(s.phase_at(0.5), Phase::Uplink);
+        assert_eq!(s.phase_at(1.1), Phase::Downlink); // wraps
+    }
+
+    #[test]
+    fn power_decreases_with_less_downlink() {
+        let c = ComponentPowers::prototype();
+        let busy = SequentialSchedule {
+            downlink_window_s: 0.9,
+            uplink_window_s: 0.1,
+        };
+        let idle = SequentialSchedule {
+            downlink_window_s: 0.05,
+            uplink_window_s: 0.95,
+        };
+        assert!(idle.average_power_w(&c) < busy.average_power_w(&c) / 5.0);
+    }
+
+    #[test]
+    fn traffic_sizing_meets_demand() {
+        // 41.7 kbps downlink link, demand 5 kbps down + 50 bps up over a
+        // 200 bps uplink.
+        let s = SequentialSchedule::for_traffic(5_000.0, 50.0, 41_700.0, 200.0, 1.0).unwrap();
+        let (dl, ul) = s.throughput_bps(41_700.0, 200.0);
+        assert!(dl >= 5_000.0 - 1e-9, "dl {dl}");
+        assert!(ul >= 50.0 - 1e-9, "ul {ul}");
+        // Power far below continuous.
+        let c = ComponentPowers::prototype();
+        let cont = average_power_w(&c, crate::power::OperatingMode::Continuous);
+        assert!(s.average_power_w(&c) < cont / 3.0);
+    }
+
+    #[test]
+    fn infeasible_demands_rejected() {
+        assert_eq!(
+            SequentialSchedule::for_traffic(50_000.0, 0.0, 41_700.0, 200.0, 1.0),
+            Err(ScheduleError::Infeasible {
+                phase: Phase::Downlink
+            })
+        );
+        // Downlink eats 90% of the cycle; uplink demand needs 50%.
+        assert_eq!(
+            SequentialSchedule::for_traffic(37_530.0, 100.0, 41_700.0, 200.0, 1.0),
+            Err(ScheduleError::Infeasible {
+                phase: Phase::Uplink
+            })
+        );
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert_eq!(
+            SequentialSchedule::for_traffic(-1.0, 0.0, 1.0, 1.0, 1.0),
+            Err(ScheduleError::BadInput)
+        );
+        assert_eq!(
+            SequentialSchedule::for_traffic(1.0, 1.0, 0.0, 1.0, 1.0),
+            Err(ScheduleError::BadInput)
+        );
+    }
+
+    #[test]
+    fn zero_demand_is_microwatts() {
+        let s = SequentialSchedule::for_traffic(0.0, 10.0, 41_700.0, 200.0, 1.0).unwrap();
+        let c = ComponentPowers::prototype();
+        assert!(s.average_power_w(&c) < 10e-6);
+    }
+}

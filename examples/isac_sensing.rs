@@ -1,0 +1,100 @@
+//! ISAC transparency: communication must not disturb sensing (paper §3.3,
+//! Figs. 7 & 16).
+//!
+//! A person walks through the radar's field of view while a BiScatter tag
+//! sits on the wall. The radar runs frame after frame, every one of them
+//! carrying a downlink packet. The demo tracks the walker with an α–β
+//! tracker, localizes the tag, and decodes the downlink at the tag —
+//! simultaneously — then repeats the run with IF correction disabled to
+//! show the range-profile ambiguity CSSK would otherwise cause (Fig. 7a).
+//!
+//! Run with: `cargo run --release --example isac_sensing`
+
+use biscatter_core::isac::{run_isac_frame, IsacScenario, MoverSpec};
+use biscatter_core::radar::sensing::AlphaBetaTracker;
+use biscatter_core::system::BiScatterSystem;
+
+fn main() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let tag_range = 2.5;
+    let mod_freq = 16.0 / (sys.frame_chirps as f64 * sys.radar.t_period);
+    let frame_time = sys.frame_chirps as f64 * sys.radar.t_period;
+    println!("ISAC transparency demo — {} frames of {:.1} ms each\n", 12, frame_time * 1e3);
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>10}  {:>9}",
+        "frame", "walker_m", "track_m", "tag_err_cm", "downlink"
+    );
+
+    // Frames are snapshots taken every 250 ms of wall-clock time.
+    let snapshot_dt = 0.25;
+    let mut tracker = AlphaBetaTracker::new(0.6, 0.2);
+    let mut walker = 8.0; // starts far, walks toward the radar at 1.2 m/s
+    let speed = -1.2;
+    let mut downlink_ok = 0;
+    let mut tag_errors = Vec::new();
+
+    for frame in 0..12 {
+        let mut scenario = IsacScenario::single_tag(tag_range, mod_freq).with_office_clutter();
+        scenario.movers = vec![MoverSpec {
+            range_m: walker,
+            velocity_mps: speed,
+            relative_amp: 9.0,
+        }];
+        let payload = [frame as u8, 0x5A, 0xC3];
+        let out = run_isac_frame(&sys, &scenario, &payload, 9090 + frame as u64);
+
+        // Track the walker: nearest detection to the prediction.
+        let predicted = tracker.range();
+        let measured = out
+            .detections
+            .iter()
+            .map(|d| d.range_m)
+            .filter(|r| (r - tag_range).abs() > 0.4) // ignore the tag itself
+            .min_by(|a, b| {
+                let pa = if frame == 0 { walker } else { predicted };
+                (a - pa).abs().partial_cmp(&(b - pa).abs()).unwrap()
+            });
+        let track = match measured {
+            Some(m) => tracker.update(m, snapshot_dt),
+            None => tracker.range(),
+        };
+
+        let tag_err_cm = out
+            .location
+            .map(|l| (l.range_m - tag_range).abs() * 100.0)
+            .unwrap_or(f64::NAN);
+        if !tag_err_cm.is_nan() {
+            tag_errors.push(tag_err_cm);
+        }
+        let dl = out.downlink.parsed && out.downlink.received == payload;
+        downlink_ok += usize::from(dl);
+
+        println!(
+            "{:>6}  {:>9.2}  {:>9.2}  {:>10.1}  {:>9}",
+            frame,
+            walker,
+            track,
+            tag_err_cm,
+            if dl { "ok" } else { "FAIL" }
+        );
+        walker += speed * snapshot_dt;
+    }
+
+    let mean_err = tag_errors.iter().sum::<f64>() / tag_errors.len().max(1) as f64;
+    println!("\nsummary: downlink {downlink_ok}/12 frames, mean tag error {mean_err:.1} cm");
+    println!("The walker was tracked, the tag was localized, and every frame carried data.");
+
+    // The ablation: without IF correction the static tag smears across bins.
+    let mut broken = sys.clone();
+    broken.rx.if_correction = false;
+    let scenario = IsacScenario::single_tag(tag_range, mod_freq);
+    let out = run_isac_frame(&broken, &scenario, b"ABLATION", 777);
+    match out.location {
+        Some(l) => println!(
+            "\nwithout IF correction the tag appears at {:.2} m — {:.1} m off (Fig. 7a).",
+            l.range_m,
+            (l.range_m - tag_range).abs()
+        ),
+        None => println!("\nwithout IF correction the tag is not even found (Fig. 7a)."),
+    }
+}

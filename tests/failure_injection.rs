@@ -1,0 +1,194 @@
+//! Failure injection: the decoder's behaviour under conditions the happy
+//! path never produces — punctured captures, clock offsets, interferers,
+//! ADC saturation, and hopeless SNR. The system should degrade or refuse,
+//! never panic or fabricate confident nonsense.
+
+use biscatter_core::dsp::signal::NoiseSource;
+use biscatter_core::link::packet::DownlinkPacket;
+use biscatter_core::radar::sequencer::packet_to_train;
+use biscatter_core::system::BiScatterSystem;
+use biscatter_core::tag::decoder::DownlinkDecoder;
+
+fn capture(sys: &BiScatterSystem, payload: &[u8], snr_db: f64, seed: u64) -> Vec<f64> {
+    let packet = DownlinkPacket::new(payload.to_vec());
+    let (train, _) = packet_to_train(&packet, &sys.alphabet, sys.radar.t_period).unwrap();
+    let mut noise = NoiseSource::new(seed);
+    sys.front_end.capture_train(&train, snr_db, 0.0, &mut noise)
+}
+
+fn decoder(sys: &BiScatterSystem) -> DownlinkDecoder {
+    DownlinkDecoder::new(sys.nominal_decider())
+}
+
+/// Zeroing out a whole chirp (deep fade / blockage) damages only that
+/// symbol's bits; the rest of the packet survives.
+#[test]
+fn punctured_chirp_is_contained() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let payload = b"PUNCTURED-FRAME!";
+    let mut samples = capture(&sys, payload, 25.0, 1);
+    // Blank the 13th slot (inside the payload region).
+    let period = (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
+    for v in &mut samples[13 * period..14 * period] {
+        *v = 0.0;
+    }
+    let result = decoder(&sys).decode(&samples, Some(payload.len())).unwrap();
+    let received = result.payload.unwrap();
+    assert_eq!(received.len(), payload.len());
+    let bit_errors: u32 = payload
+        .iter()
+        .zip(&received)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    // One lost 5-bit symbol can damage at most 5 bits (plus framing slack).
+    assert!(bit_errors <= 8, "{bit_errors} bit errors from one puncture");
+    assert!(bit_errors >= 1, "the punctured symbol cannot decode correctly");
+}
+
+/// A strong in-band CW interferer (another kHz tone at the envelope output)
+/// raises the error rate but does not break framing at high SNR.
+#[test]
+fn cw_interferer_tolerated() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let payload = b"INTERFERENCE";
+    let mut samples = capture(&sys, payload, 28.0, 2);
+    // Interferer at 40 kHz (just below the beat band), 15% of signal
+    // amplitude. (At 25% the same tone breaks framing — see
+    // `strong_interferer_fails_cleanly`.)
+    let fs = sys.front_end.adc.sample_rate_hz;
+    for (i, v) in samples.iter_mut().enumerate() {
+        *v += 0.15 * (std::f64::consts::TAU * 40e3 * i as f64 / fs).sin();
+    }
+    let result = decoder(&sys).decode(&samples, Some(payload.len())).unwrap();
+    let received = result.payload.unwrap();
+    let bit_errors: u32 = payload
+        .iter()
+        .zip(&received)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    assert!(
+        bit_errors <= 6,
+        "interferer caused {bit_errors} bit errors"
+    );
+}
+
+/// ADC saturation (input overdriven 2x and clipped at the rail) distorts
+/// the envelope but keeps the link alive — the beat frequency, not the
+/// amplitude, carries the data.
+#[test]
+fn saturated_adc_still_decodes() {
+    let sys = BiScatterSystem::paper_9ghz();
+    // A packet long enough that the timing estimator has a solid preamble
+    // plus payload to work with even under distortion.
+    let payload = b"CLIPPING-TEST";
+    let mut samples = capture(&sys, payload, 30.0, 3);
+    for v in samples.iter_mut() {
+        *v = (*v * 2.0).clamp(0.0, 1.6);
+    }
+    let result = decoder(&sys).decode(&samples, Some(payload.len())).unwrap();
+    let received = result.payload.unwrap();
+    let bit_errors: u32 = payload
+        .iter()
+        .zip(&received)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum();
+    // Saturation costs a handful of bits out of 104 — degraded, not dead.
+    assert_eq!(received.len(), payload.len());
+    assert!(bit_errors <= 8, "saturation caused {bit_errors} bit errors");
+}
+
+/// The failure boundary: escalate the jammer until the link breaks, and
+/// verify the break is *clean* (an error variant or a damaged payload),
+/// never a panic. Also exercises gross overdrive.
+#[test]
+fn strong_impairments_fail_cleanly() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let payload = b"INTERFERENCE";
+    let fs = sys.front_end.adc.sample_rate_hz;
+
+    let mut broke = false;
+    for level in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let mut jammed = capture(&sys, payload, 28.0, 2);
+        for (i, v) in jammed.iter_mut().enumerate() {
+            *v += level * (std::f64::consts::TAU * 40e3 * i as f64 / fs).sin();
+        }
+        match decoder(&sys).decode(&jammed, Some(payload.len())) {
+            Err(_) => broke = true,
+            Ok(res) => match res.payload {
+                Err(_) => broke = true,
+                Ok(bytes) => {
+                    if bytes != payload {
+                        broke = true;
+                    }
+                }
+            },
+        }
+    }
+    assert!(broke, "even a 4x jammer could not break the link?");
+
+    let mut clipped = capture(&sys, payload, 30.0, 3);
+    for v in clipped.iter_mut() {
+        *v = (*v * 5.0).clamp(-1.5, 1.5);
+    }
+    // Must not panic; any error variant is acceptable.
+    let _ = decoder(&sys).decode(&clipped, Some(payload.len()));
+}
+
+/// At hopeless SNR the decoder fails *recognizably*: either no period, no
+/// sync, or a payload that fails integrity — never a panic.
+#[test]
+fn hopeless_snr_fails_cleanly() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let payload = b"GONE";
+    for seed in 0..8 {
+        let samples = capture(&sys, payload, -20.0, 100 + seed);
+        match decoder(&sys).decode(&samples, Some(payload.len())) {
+            Err(_) => {}                       // refused: fine
+            Ok(result) => match result.payload {
+                Err(_) => {}                   // no sync: fine
+                Ok(bytes) => {
+                    // Decoded *something*; it must not silently equal the
+                    // payload every time at -20 dB. (One lucky frame out of
+                    // eight is tolerated.)
+                    if bytes == payload {
+                        // Count how often this happens across seeds instead
+                        // of failing immediately — handled below by the
+                        // aggregate check.
+                    }
+                }
+            },
+        }
+    }
+    // Aggregate: the -20 dB link must be mostly broken.
+    let mut successes = 0;
+    for seed in 0..8 {
+        let samples = capture(&sys, payload, -20.0, 100 + seed);
+        if let Ok(r) = decoder(&sys).decode(&samples, Some(payload.len())) {
+            if r.payload.as_deref() == Ok(payload.as_slice()) {
+                successes += 1;
+            }
+        }
+    }
+    assert!(successes <= 1, "{successes}/8 frames decoded at -20 dB");
+}
+
+/// Severe ADC clock offset (more than a whole slot) is recovered by
+/// acquisition as long as the preamble is long enough.
+#[test]
+fn large_clock_offset_recovered() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let mut packet = DownlinkPacket::new(b"DRIFT".to_vec());
+    packet.header_len = 12;
+    let (mut train, _) =
+        packet_to_train(&packet, &sys.alphabet, sys.radar.t_period).unwrap();
+    // Keep the radar chirping so the shifted capture still covers the packet.
+    let pad = *train.slots().first().unwrap();
+    train.push(pad);
+    train.push(pad);
+    let mut noise = NoiseSource::new(7);
+    let samples = sys
+        .front_end
+        .capture_train(&train, 24.0, 2.5 * sys.radar.t_period, &mut noise);
+    let result = decoder(&sys).decode(&samples, Some(5)).unwrap();
+    assert_eq!(result.payload.unwrap(), b"DRIFT");
+}

@@ -1,0 +1,111 @@
+//! Cross-crate invariants tying the implementation back to the paper's
+//! equations and headline claims, independent of the bench harness.
+
+use biscatter_core::downlink::measure_ber_symbols;
+use biscatter_core::link::packet::DownlinkSymbol;
+use biscatter_core::radar::configs::RadarConfig;
+use biscatter_core::rf::inches_to_m;
+use biscatter_core::system::BiScatterSystem;
+
+/// Eq. 5: range resolution depends only on bandwidth, not on CSSK activity.
+#[test]
+fn eq5_range_resolution_constant_across_alphabet() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let expected = biscatter_core::dsp::SPEED_OF_LIGHT / (2.0 * sys.radar.bandwidth);
+    for v in 0..sys.alphabet.n_data_symbols() as u16 {
+        let chirp = sys.alphabet.chirp_for(DownlinkSymbol::Data(v));
+        assert!((chirp.range_resolution() - expected).abs() < 1e-12);
+    }
+}
+
+/// Eq. 4: the maximum unambiguous range scales with chirp duration — the
+/// trade the paper accepts by modulating duration instead of bandwidth.
+#[test]
+fn eq4_max_range_scales_with_duration() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let header = sys.alphabet.chirp_for(DownlinkSymbol::Header);
+    let sync = sys.alphabet.chirp_for(DownlinkSymbol::Sync);
+    let fs = sys.radar.if_sample_rate;
+    let ratio = header.max_unambiguous_range(fs) / sync.max_unambiguous_range(fs);
+    let expected = header.duration / sync.duration;
+    assert!((ratio - expected).abs() < 1e-9);
+}
+
+/// Eq. 11: the tag's beat frequency for every alphabet symbol matches
+/// `B·ΔT / T` through the actual front-end model.
+#[test]
+fn eq11_beat_frequencies_match_model() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let dt = sys.front_end.pair.delta_t();
+    for v in 0..sys.alphabet.n_data_symbols() as u16 {
+        let sym = DownlinkSymbol::Data(v);
+        let chirp = sys.alphabet.chirp_for(sym);
+        let from_alphabet = sys.alphabet.beat_freq_for(sym, dt);
+        let from_frontend = sys.front_end.beat_freq(&chirp);
+        assert!(
+            (from_alphabet - from_frontend).abs() / from_alphabet < 1e-9,
+            "symbol {v}: {from_alphabet} vs {from_frontend}"
+        );
+    }
+}
+
+/// Eq. 12/13: doubling ΔL doubles the beat-frequency spacing Δf_int.
+#[test]
+fn eq13_spacing_scales_with_delta_l() {
+    let radar = RadarConfig::lmx2492_9ghz();
+    let short = BiScatterSystem::new(radar.clone(), inches_to_m(18.0), 5).unwrap();
+    let long = BiScatterSystem::new(radar, inches_to_m(36.0), 5).unwrap();
+    let s = short.alphabet.delta_f_int(short.front_end.pair.delta_t());
+    let l = long.alphabet.delta_f_int(long.front_end.pair.delta_t());
+    assert!((l / s - 2.0).abs() < 1e-9, "ratio {}", l / s);
+}
+
+/// Headline (abstract): BER < 1e-3 at the 7 m operating point with the
+/// 9 GHz / 1 GHz / 5-bit configuration.
+#[test]
+fn headline_ber_below_1e3_at_7m() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let snr = sys.downlink_snr_at(7.0);
+    // 300 frames × 24 symbols × 5 bits = 36 000 bits.
+    let c = measure_ber_symbols(&sys, snr, 300, 24, 77);
+    assert!(
+        c.ber() < 1e-3,
+        "BER {} ({} errors / {} bits) at 7 m ({snr:.1} dB)",
+        c.ber(),
+        c.errors,
+        c.bits
+    );
+}
+
+/// BER is monotone non-increasing in SNR across the waterfall region.
+#[test]
+fn ber_waterfall_monotone() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let mut last = 1.0f64;
+    for snr in [-5.0, 0.0, 5.0, 10.0, 15.0, 20.0] {
+        let ber = measure_ber_symbols(&sys, snr, 40, 24, 88).ber();
+        assert!(
+            ber <= last + 0.02,
+            "BER rose from {last} to {ber} at {snr} dB"
+        );
+        last = ber;
+    }
+    assert!(last < 1e-2, "waterfall should reach low BER, got {last}");
+}
+
+/// Uplink budget: the 1/d⁴ radar-equation slope (40 dB/decade).
+#[test]
+fn uplink_budget_slope() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let s1 = sys.uplink_snr_at(0.7);
+    let s10 = sys.uplink_snr_at(7.0);
+    assert!((s1 - s10 - 40.0).abs() < 0.01, "slope {}", s1 - s10);
+}
+
+/// Power model headline: 48 mW continuous (paper §4.1).
+#[test]
+fn power_headline() {
+    use biscatter_core::tag::power::{average_power_mw, ComponentPowers, OperatingMode};
+    let p = average_power_mw(&ComponentPowers::prototype(), OperatingMode::Continuous);
+    assert!((p - 48.0).abs() < 0.5, "{p} mW");
+}
