@@ -9,7 +9,10 @@
 use biscatter_bench::all_specs;
 
 fn main() {
-    let filters: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     for spec in all_specs() {
         if !filters.is_empty() && !filters.iter().any(|f| spec.name.contains(f.as_str())) {
             continue;

@@ -6,11 +6,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use biscatter_core::downlink::{measure_ber_symbols, run_frame_synced};
 use biscatter_core::dsp::fft::fft;
 use biscatter_core::dsp::goertzel::goertzel_power;
 use biscatter_core::dsp::signal::NoiseSource;
 use biscatter_core::dsp::Cpx;
-use biscatter_core::downlink::{measure_ber_symbols, run_frame_synced};
 use biscatter_core::link::packet::DownlinkSymbol;
 use biscatter_core::radar::receiver::doppler::range_doppler;
 use biscatter_core::radar::receiver::{align_frame, RxConfig};

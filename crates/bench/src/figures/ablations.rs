@@ -27,14 +27,8 @@ pub fn ablation_gray_mapping() -> Experiment {
     }
     e.points = parallel_sweep(inputs, |&(gray, snr)| {
         let sys = BiScatterSystem::paper_9ghz();
-        let c = measure_ber_symbols_mapped(
-            &sys,
-            snr,
-            frames_per_point(),
-            24,
-            5_000 + snr as u64,
-            gray,
-        );
+        let c =
+            measure_ber_symbols_mapped(&sys, snr, frames_per_point(), 24, 5_000 + snr as u64, gray);
         SweepPoint::new(
             &[("gray", gray as u8 as f64), ("snr_db", snr)],
             &[("ber", c.ber_floor())],
@@ -62,8 +56,7 @@ pub fn ablation_spreading() -> Experiment {
         let sys = BiScatterSystem::paper_9ghz();
         let decider = sys.nominal_decider();
         let code = SpreadCode::new(l, sys.alphabet.n_data_symbols());
-        let period =
-            (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
+        let period = (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
         let mut errors = 0usize;
         let mut total = 0usize;
         let mut noise = NoiseSource::new(6_000 + l as u64 * 97 + snr as u64);
@@ -72,14 +65,12 @@ pub fn ablation_spreading() -> Experiment {
             let symbols: Vec<u16> = (0..16)
                 .map(|_| (rng.uniform() * sys.alphabet.n_data_symbols() as f64) as u16)
                 .collect();
-            let train = code.to_train(&symbols, &sys.alphabet, sys.radar.t_period).unwrap();
+            let train = code
+                .to_train(&symbols, &sys.alphabet, sys.radar.t_period)
+                .unwrap();
             let samples = sys.front_end.capture_train(&train, snr, 0.0, &mut noise);
             let decoded = code.despread(&samples, period, &decider, &sys.alphabet);
-            errors += symbols
-                .iter()
-                .zip(&decoded)
-                .filter(|(a, b)| a != b)
-                .count();
+            errors += symbols.iter().zip(&decoded).filter(|(a, b)| a != b).count();
             total += symbols.len().min(decoded.len());
         }
         SweepPoint::new(
@@ -123,7 +114,14 @@ pub fn ablation_background_subtraction() -> Experiment {
         SweepPoint::new(
             &[("background_subtraction", enabled as u8 as f64)],
             &[
-                ("mean_error_cm", if errors.is_empty() { f64::NAN } else { mean(&errors) }),
+                (
+                    "mean_error_cm",
+                    if errors.is_empty() {
+                        f64::NAN
+                    } else {
+                        mean(&errors)
+                    },
+                ),
                 ("detection_rate", found as f64 / trials as f64),
             ],
         )
@@ -181,7 +179,10 @@ pub fn ablation_goertzel_vs_fft() -> Experiment {
     let fft_ns = t1.elapsed().as_nanos() as f64 / reps as f64;
 
     e.points.push(SweepPoint::new(
-        &[("slot_samples", n_slot as f64), ("candidates", n_cand as f64)],
+        &[
+            ("slot_samples", n_slot as f64),
+            ("candidates", n_cand as f64),
+        ],
         &[
             ("goertzel_mults", goertzel_ops),
             ("fft_mults", fft_ops),
@@ -189,6 +190,76 @@ pub fn ablation_goertzel_vs_fft() -> Experiment {
             ("fft_ns_per_slot", fft_ns),
         ],
     ));
+    e
+}
+
+/// **Extension: 2D localization (range + azimuth).** The paper's TinyRad
+/// platform carries an RX array; this experiment measures the azimuth and
+/// Cartesian position error of the phase-comparison AoA estimator across
+/// the field of view (2-element array, λ/2 spacing).
+pub fn extension_aoa_2d() -> Experiment {
+    use biscatter_core::radar::receiver::align_frame;
+    use biscatter_core::radar::receiver::aoa::locate_tag_2d;
+    use biscatter_core::rf::chirp::Chirp;
+    use biscatter_core::rf::frame::ChirpTrain;
+    use biscatter_core::rf::if_gen::IfReceiver;
+    use biscatter_core::rf::scene::{Scatterer, Scene};
+
+    let mut e = Experiment::new(
+        "extension_aoa_2d",
+        "2D tag localization: azimuth and position error vs true angle (2-RX, λ/2)",
+    );
+    let spacing = 0.5;
+    let f_mod = 16.0 / (128.0 * 120e-6);
+    let angles: Vec<f64> = vec![-45.0, -30.0, -15.0, 0.0, 15.0, 30.0, 45.0];
+    e.points = parallel_sweep(angles, |&az_deg| {
+        let sys = BiScatterSystem::paper_9ghz();
+        let az = az_deg.to_radians();
+        let range = 4.0;
+        let scene = Scene::new()
+            .with(Scatterer::clutter(1.5, 6.0))
+            .with(Scatterer::tag(range, 0.5, f_mod).at_azimuth(az));
+        let chirps = vec![Chirp::new(sys.radar.f0, sys.radar.bandwidth, 96e-6); 128];
+        let train = ChirpTrain::with_fixed_period(&chirps, sys.radar.t_period).unwrap();
+        let rx = IfReceiver {
+            sample_rate_hz: sys.rx.if_sample_rate,
+            noise_sigma: 0.02,
+        };
+        let mut noise = NoiseSource::new((11_000i64 + az_deg as i64) as u64);
+        let per_rx = rx.dechirp_train_array(&train, &scene, 0.0, 2, spacing, &mut noise);
+        let frames: Vec<_> = per_rx
+            .iter()
+            .map(|d| align_frame(&sys.rx, &train, d))
+            .collect();
+        match locate_tag_2d(&frames, spacing, f_mod, 10.0) {
+            Some(pos) => {
+                let (x, y) = pos.cartesian();
+                let (tx, ty) = (range * az.sin(), range * az.cos());
+                let pos_err = ((x - tx).powi(2) + (y - ty).powi(2)).sqrt();
+                SweepPoint::new(
+                    &[("true_azimuth_deg", az_deg)],
+                    &[
+                        ("est_azimuth_deg", pos.azimuth_rad.to_degrees()),
+                        (
+                            "azimuth_error_deg",
+                            (pos.azimuth_rad - az).to_degrees().abs(),
+                        ),
+                        ("position_error_cm", pos_err * 100.0),
+                        ("range_m", pos.range_m),
+                    ],
+                )
+            }
+            None => SweepPoint::new(
+                &[("true_azimuth_deg", az_deg)],
+                &[
+                    ("est_azimuth_deg", f64::NAN),
+                    ("azimuth_error_deg", f64::NAN),
+                    ("position_error_cm", f64::NAN),
+                    ("range_m", f64::NAN),
+                ],
+            ),
+        }
+    });
     e
 }
 
@@ -201,7 +272,11 @@ mod tests {
         let e = extension_aoa_2d();
         for p in &e.points {
             let err = p.metric("azimuth_error_deg").unwrap();
-            assert!(err.is_finite() && err < 4.0, "az {:?}: err {err}°", p.params);
+            assert!(
+                err.is_finite() && err < 4.0,
+                "az {:?}: err {err}°",
+                p.params
+            );
             assert!(p.metric("position_error_cm").unwrap() < 30.0);
         }
     }
@@ -272,67 +347,4 @@ mod tests {
         assert!(p.metric("fft_mults").unwrap() > 0.0);
         assert!(p.metric("goertzel_ns_per_slot").unwrap() > 0.0);
     }
-}
-
-/// **Extension: 2D localization (range + azimuth).** The paper's TinyRad
-/// platform carries an RX array; this experiment measures the azimuth and
-/// Cartesian position error of the phase-comparison AoA estimator across
-/// the field of view (2-element array, λ/2 spacing).
-pub fn extension_aoa_2d() -> Experiment {
-    use biscatter_core::radar::receiver::aoa::locate_tag_2d;
-    use biscatter_core::radar::receiver::align_frame;
-    use biscatter_core::rf::chirp::Chirp;
-    use biscatter_core::rf::frame::ChirpTrain;
-    use biscatter_core::rf::if_gen::IfReceiver;
-    use biscatter_core::rf::scene::{Scatterer, Scene};
-
-    let mut e = Experiment::new(
-        "extension_aoa_2d",
-        "2D tag localization: azimuth and position error vs true angle (2-RX, λ/2)",
-    );
-    let spacing = 0.5;
-    let f_mod = 16.0 / (128.0 * 120e-6);
-    let angles: Vec<f64> = vec![-45.0, -30.0, -15.0, 0.0, 15.0, 30.0, 45.0];
-    e.points = parallel_sweep(angles, |&az_deg| {
-        let sys = BiScatterSystem::paper_9ghz();
-        let az = az_deg.to_radians();
-        let range = 4.0;
-        let scene = Scene::new()
-            .with(Scatterer::clutter(1.5, 6.0))
-            .with(Scatterer::tag(range, 0.5, f_mod).at_azimuth(az));
-        let chirps = vec![Chirp::new(sys.radar.f0, sys.radar.bandwidth, 96e-6); 128];
-        let train = ChirpTrain::with_fixed_period(&chirps, sys.radar.t_period).unwrap();
-        let rx = IfReceiver {
-            sample_rate_hz: sys.rx.if_sample_rate,
-            noise_sigma: 0.02,
-        };
-        let mut noise = NoiseSource::new((11_000i64 + az_deg as i64) as u64);
-        let per_rx = rx.dechirp_train_array(&train, &scene, 0.0, 2, spacing, &mut noise);
-        let frames: Vec<_> = per_rx
-            .iter()
-            .map(|d| align_frame(&sys.rx, &train, d))
-            .collect();
-        match locate_tag_2d(&frames, spacing, f_mod, 10.0) {
-            Some(pos) => {
-                let (x, y) = pos.cartesian();
-                let (tx, ty) = (range * az.sin(), range * az.cos());
-                let pos_err = ((x - tx).powi(2) + (y - ty).powi(2)).sqrt();
-                SweepPoint::new(
-                    &[("true_azimuth_deg", az_deg)],
-                    &[
-                        ("est_azimuth_deg", pos.azimuth_rad.to_degrees()),
-                        ("azimuth_error_deg", (pos.azimuth_rad - az).to_degrees().abs()),
-                        ("position_error_cm", pos_err * 100.0),
-                        ("range_m", pos.range_m),
-                    ],
-                )
-            }
-            None => SweepPoint::new(
-                &[("true_azimuth_deg", az_deg)],
-                &[("est_azimuth_deg", f64::NAN), ("azimuth_error_deg", f64::NAN),
-                  ("position_error_cm", f64::NAN), ("range_m", f64::NAN)],
-            ),
-        }
-    });
-    e
 }

@@ -94,8 +94,7 @@ pub fn fig14_ber_delay_line() -> Experiment {
         }
     }
     e.points = parallel_sweep(inputs, |&(dl_in, snr)| {
-        let sys =
-            BiScatterSystem::new(RadarConfig::lmx2492_9ghz(), inches_to_m(dl_in), 5).unwrap();
+        let sys = BiScatterSystem::new(RadarConfig::lmx2492_9ghz(), inches_to_m(dl_in), 5).unwrap();
         let (ber, lo, hi) = ber_point(&sys, snr, 14_000 + dl_in as u64 + snr as u64);
         SweepPoint::new(
             &[("delta_l_in", dl_in), ("snr_db", snr)],

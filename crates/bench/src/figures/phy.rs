@@ -41,7 +41,9 @@ pub fn fig05_beat_frequency() -> Experiment {
     let fe = TagFrontEnd::coax_prototype(inches_to_m(45.0), 9.5e9);
     let fs = fe.adc.sample_rate_hz;
     let mut noise = NoiseSource::new(5);
-    for t_us in [30.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0, 180.0, 200.0] {
+    for t_us in [
+        30.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0, 180.0, 200.0,
+    ] {
         let t_chirp = t_us * 1e-6;
         let chirp = Chirp::new(9e9, 1e9, t_chirp);
         let period = t_chirp / 0.8;

@@ -42,7 +42,10 @@ pub fn table_power_datarate() -> Experiment {
     e.points.push(SweepPoint::new(
         &[("row", 0.0)],
         &[
-            ("continuous_mw", average_power_mw(&proto, OperatingMode::Continuous)),
+            (
+                "continuous_mw",
+                average_power_mw(&proto, OperatingMode::Continuous),
+            ),
             (
                 "sequential_50pct_mw",
                 average_power_mw(
@@ -61,7 +64,10 @@ pub fn table_power_datarate() -> Experiment {
                     },
                 ),
             ),
-            ("custom_ic_mw", average_power_mw(&ic, OperatingMode::Continuous)),
+            (
+                "custom_ic_mw",
+                average_power_mw(&ic, OperatingMode::Continuous),
+            ),
         ],
     ));
     // Data rates: eq. 14 at the evaluation T_period = 120 µs, plus the
@@ -95,7 +101,13 @@ mod tests {
         assert_eq!(e.points.len(), 4);
         // Row 3 = BiScatter: all ones.
         let bi = &e.points[3];
-        for m in ["uplink", "downlink", "localization", "integrated_isac", "commodity_radar"] {
+        for m in [
+            "uplink",
+            "downlink",
+            "localization",
+            "integrated_isac",
+            "commodity_radar",
+        ] {
             assert_eq!(bi.metric(m), Some(1.0), "{m}");
         }
         // Row 0 = Millimetro: localization only.

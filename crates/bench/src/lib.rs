@@ -136,5 +136,8 @@ pub fn all_specs() -> Vec<ExperimentSpec> {
 
 /// Runs one experiment by name; `None` if unknown.
 pub fn run_by_name(name: &str) -> Option<Experiment> {
-    all_specs().into_iter().find(|s| s.name == name).map(|s| (s.run)())
+    all_specs()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| (s.run)())
 }

@@ -13,10 +13,8 @@
 //! | MilBack \[29] | ✓ | ✓ | ✓ | ✗ | ✗ |
 //! | BiScatter | ✓ | ✓ | ✓ | ✓ | ✓ |
 
-use serde::{Deserialize, Serialize};
-
 /// The capability set of a radar-backscatter system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capabilities {
     /// Tag → radar data.
     pub uplink: bool,
@@ -31,7 +29,7 @@ pub struct Capabilities {
 }
 
 /// A named comparison system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SystemProfile {
     /// System name as in Table 1.
     pub name: &'static str,

@@ -14,15 +14,15 @@
 //!   BER-relevant SNR range, and skipping it makes 10⁴-frame sweeps cheap).
 
 use crate::system::BiScatterSystem;
+use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::ber::BerCounter;
 use biscatter_link::packet::{parse_downlink, DownlinkPacket};
 use biscatter_radar::sequencer::packet_to_train;
 use biscatter_tag::decoder::DownlinkDecoder;
 use biscatter_tag::demod::SymbolDecider;
-use biscatter_dsp::signal::NoiseSource;
 
 /// Outcome of one downlink frame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameOutcome {
     /// The payload that was transmitted.
     pub sent: Vec<u8>,
@@ -80,8 +80,7 @@ pub fn run_frame_synced(
     let (train, _) = packet_to_train(&packet, &sys.alphabet, sys.radar.t_period)
         .expect("alphabet durations satisfy the duty constraint by construction");
     let samples = sys.front_end.capture_train(&train, snr_db, 0.0, noise);
-    let period_samples =
-        (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
+    let period_samples = (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
     let symbols = decider.decide_stream(&samples, period_samples);
     match parse_downlink(&symbols, sys.alphabet.bits_per_symbol, Some(payload.len())) {
         Ok(bytes) => FrameOutcome {
@@ -157,8 +156,7 @@ pub fn measure_ber_symbols_mapped(
     let mut counter = BerCounter::new();
     let bits = sys.alphabet.bits_per_symbol;
     let n_data = sys.alphabet.n_data_symbols() as f64;
-    let period_samples =
-        (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
+    let period_samples = (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
 
     for _ in 0..n_frames {
         let raw: Vec<u16> = (0..symbols_per_frame)
@@ -168,10 +166,7 @@ pub fn measure_ber_symbols_mapped(
             .iter()
             .map(|&v| DownlinkSymbol::Data(if gray { gray_decode(v) } else { v }))
             .collect();
-        let chirps: Vec<_> = on_air
-            .iter()
-            .map(|&s| sys.alphabet.chirp_for(s))
-            .collect();
+        let chirps: Vec<_> = on_air.iter().map(|&s| sys.alphabet.chirp_for(s)).collect();
         let train = ChirpTrain::with_fixed_period(&chirps, sys.radar.t_period)
             .expect("alphabet durations satisfy the duty constraint");
         let samples = sys.front_end.capture_train(&train, snr_db, 0.0, &mut noise);
@@ -193,8 +188,7 @@ pub fn measure_ber_symbols_mapped(
             };
             for b in 0..bits {
                 counter.bits += 1;
-                counter.errors +=
-                    u64::from((sent_raw >> b) & 1 != (got_raw >> b) & 1);
+                counter.errors += u64::from((sent_raw >> b) & 1 != (got_raw >> b) & 1);
             }
         }
     }

@@ -20,17 +20,18 @@
 
 use crate::downlink::FrameOutcome;
 use crate::system::BiScatterSystem;
+use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::packet::DownlinkPacket;
-use biscatter_radar::receiver::doppler::range_doppler;
+use biscatter_radar::receiver::doppler::{range_doppler, RangeDopplerMap};
 use biscatter_radar::receiver::localize::{locate_tag, TagLocation};
 use biscatter_radar::receiver::uplink::{demodulate, UplinkScheme};
-use biscatter_radar::receiver::{align_frame, RxConfig};
+use biscatter_radar::receiver::{align_frame, AlignedFrame, RxConfig};
 use biscatter_radar::sensing::{CfarDetector, Detection};
 use biscatter_radar::sequencer::isac_frame;
+use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::if_gen::IfReceiver;
 use biscatter_rf::scene::{Scatterer, Scene, TagModulation};
 use biscatter_tag::decoder::DownlinkDecoder;
-use biscatter_dsp::signal::NoiseSource;
 
 /// A static reflector in the scenario (range, amplitude relative to the
 /// tag's reflective-state amplitude).
@@ -110,7 +111,7 @@ impl IsacScenario {
 }
 
 /// Everything one integrated frame produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IsacOutcome {
     /// Downlink result at the tag.
     pub downlink: FrameOutcome,
@@ -122,21 +123,50 @@ pub struct IsacOutcome {
     pub detections: Vec<Detection>,
 }
 
-/// Runs one integrated frame.
-pub fn run_isac_frame(
+// ---------------------------------------------------------------------------
+// Pipeline stages.
+//
+// The integrated frame decomposes into five independent, `Send`-friendly
+// steps so a streaming engine (`biscatter-runtime`) can run each on its own
+// worker pool. `run_isac_frame` below is exactly their composition, so the
+// one-shot and streaming paths produce bit-identical results for the same
+// seed.
+// ---------------------------------------------------------------------------
+
+/// Stage 1 output: the on-air frame, the tag-side downlink result, and the
+/// radar-side scene it will reflect from.
+#[derive(Debug, Clone)]
+pub struct SynthesizedFrame {
+    /// The transmitted chirp train (packet + header-slope padding).
+    pub train: ChirpTrain,
+    /// The reflecting scene (tag + clutter + movers).
+    pub scene: Scene,
+    /// Downlink outcome at the tag (the tag experiences the frame during
+    /// synthesis: its envelope capture shares nothing with the radar path).
+    pub downlink: FrameOutcome,
+}
+
+/// Stage 3 output: aligned range profiles for both receive paths.
+#[derive(Debug, Clone)]
+pub struct AlignedPair {
+    /// Comms/localization path (background subtracted).
+    pub comms: AlignedFrame,
+    /// Sensing path (no background subtraction: static world is the signal).
+    pub sensing: AlignedFrame,
+}
+
+/// Stage 1 — frame synthesis: builds the chirp train, runs the tag-side
+/// downlink decode at the scenario's SNR, and assembles the radar scene.
+pub fn synthesize_frame(
     sys: &BiScatterSystem,
     scenario: &IsacScenario,
     payload: &[u8],
     seed: u64,
-) -> IsacOutcome {
+) -> SynthesizedFrame {
     let packet = DownlinkPacket::new(payload.to_vec());
-    let (train, _symbols, _) = isac_frame(
-        &packet,
-        &sys.alphabet,
-        sys.radar.t_period,
-        sys.frame_chirps,
-    )
-    .expect("alphabet durations satisfy the duty constraint by construction");
+    let (train, _symbols, _) =
+        isac_frame(&packet, &sys.alphabet, sys.radar.t_period, sys.frame_chirps)
+            .expect("alphabet durations satisfy the duty constraint by construction");
 
     // --- Tag side: decode the downlink. ---
     let mut tag_noise = NoiseSource::new(seed);
@@ -158,7 +188,7 @@ pub fn run_isac_frame(
         },
     };
 
-    // --- Radar side: scene, dechirp, process. ---
+    // --- Radar-side scene. ---
     let tag_amp = sys.tag_if_amplitude(scenario.tag_range_m);
     let modulation = if scenario.uplink_bits.is_empty() {
         TagModulation::Subcarrier {
@@ -199,23 +229,64 @@ pub fn run_isac_frame(
         ));
     }
 
+    SynthesizedFrame {
+        train,
+        scene,
+        downlink,
+    }
+}
+
+/// Stage 2 — dechirp / IF generation: the radar mixes the scene's
+/// reflection of every chirp down to IF samples.
+pub fn dechirp_stage(
+    sys: &BiScatterSystem,
+    train: &ChirpTrain,
+    scene: &Scene,
+    seed: u64,
+) -> Vec<Vec<f64>> {
     let rx = IfReceiver {
         sample_rate_hz: sys.rx.if_sample_rate,
         noise_sigma: 1.0,
     };
     let mut if_noise = NoiseSource::new(seed ^ 0x5EED_0F1F_2F3F);
-    let if_data = rx.dechirp_train(&train, &scene, 0.0, &mut if_noise);
+    rx.dechirp_train(train, scene, 0.0, &mut if_noise)
+}
 
-    // Comms/localization path (background subtracted).
-    let frame = align_frame(&sys.rx, &train, &if_data);
-    let map = range_doppler(&frame);
-    let location = locate_tag(&map, scenario.tag_mod_freq_hz, 10.0);
+/// Stage 3 — align + IF correction: per-chirp range FFTs resampled onto the
+/// common range grid, once per receive path (with and without background
+/// subtraction).
+pub fn align_stage(sys: &BiScatterSystem, train: &ChirpTrain, if_data: &[Vec<f64>]) -> AlignedPair {
+    let comms = align_frame(&sys.rx, train, if_data);
+    let sensing_cfg = RxConfig {
+        background_subtraction: false,
+        ..sys.rx.clone()
+    };
+    let sensing = align_frame(&sensing_cfg, train, if_data);
+    AlignedPair { comms, sensing }
+}
+
+/// Stage 4 — range–Doppler: slow-time FFT of the comms-path frame.
+pub fn doppler_stage(pair: &AlignedPair) -> RangeDopplerMap {
+    range_doppler(&pair.comms)
+}
+
+/// Stage 5 — uplink demod + CFAR/localization: localizes the tag on the
+/// range–Doppler map, demodulates the uplink at its range bin, and runs
+/// CFAR detection on the sensing path. `downlink` is the stage-1 tag-side
+/// result, passed through into the assembled outcome.
+pub fn detect_stage(
+    scenario: &IsacScenario,
+    pair: &AlignedPair,
+    map: &RangeDopplerMap,
+    downlink: FrameOutcome,
+) -> IsacOutcome {
+    let location = locate_tag(map, scenario.tag_mod_freq_hz, 10.0);
     let uplink_bits = if scenario.uplink_bits.is_empty() {
         None
     } else {
         location.as_ref().and_then(|loc| {
             demodulate(
-                &frame,
+                &pair.comms,
                 loc.range_bin,
                 scenario.uplink_scheme,
                 scenario.uplink_bit_duration_s,
@@ -224,12 +295,7 @@ pub fn run_isac_frame(
         })
     };
 
-    // Sensing path (no background subtraction: static world is the signal).
-    let sensing_cfg = RxConfig {
-        background_subtraction: false,
-        ..sys.rx.clone()
-    };
-    let sensing_frame = align_frame(&sensing_cfg, &train, &if_data);
+    let sensing_frame = &pair.sensing;
     let n = sensing_frame.n_chirps() as f64;
     let mean_power: Vec<f64> = (0..sensing_frame.range_grid.len())
         .map(|r| {
@@ -249,6 +315,20 @@ pub fn run_isac_frame(
         uplink_bits,
         detections,
     }
+}
+
+/// Runs one integrated frame: the composition of the five pipeline stages.
+pub fn run_isac_frame(
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+) -> IsacOutcome {
+    let synth = synthesize_frame(sys, scenario, payload, seed);
+    let if_data = dechirp_stage(sys, &synth.train, &synth.scene, seed);
+    let pair = align_stage(sys, &synth.train, &if_data);
+    let map = doppler_stage(&pair);
+    detect_stage(scenario, &pair, &map, synth.downlink)
 }
 
 #[cfg(test)]
@@ -318,10 +398,7 @@ mod tests {
             relative_amp: 10.0,
         }];
         let out = run_isac_frame(&sys, &scenario, b"", 5);
-        let near_mover = out
-            .detections
-            .iter()
-            .any(|d| (d.range_m - 6.0).abs() < 0.3);
+        let near_mover = out.detections.iter().any(|d| (d.range_m - 6.0).abs() < 0.3);
         assert!(near_mover, "mover not detected: {:?}", out.detections);
     }
 }

@@ -30,6 +30,7 @@ pub mod baselines;
 pub mod downlink;
 pub mod experiment;
 pub mod isac;
+pub mod json;
 pub mod multiradar;
 pub mod spread;
 pub mod system;

@@ -5,13 +5,13 @@
 //! division; this module simulates it end to end at the PHY level.
 
 use crate::system::BiScatterSystem;
+use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::mac::SlottedAloha;
 use biscatter_link::packet::DownlinkSymbol;
 use biscatter_rf::frame::ChirpTrain;
-use biscatter_dsp::signal::NoiseSource;
 
 /// Outcome of one coexistence round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoexistenceRound {
     /// Which radars transmitted collision-free this round.
     pub clear: Vec<bool>,
@@ -40,8 +40,7 @@ pub fn simulate_aloha(
 ) -> Vec<CoexistenceRound> {
     let aloha = SlottedAloha::new(n_slots);
     let decider = sys.nominal_decider();
-    let period =
-        (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
+    let period = (sys.radar.t_period * sys.front_end.adc.sample_rate_hz).round() as usize;
     let n_data = sys.alphabet.n_data_symbols() as f64;
     let mut rng = NoiseSource::new(seed);
     let mut rounds = Vec::with_capacity(n_rounds);
@@ -61,10 +60,7 @@ pub fn simulate_aloha(
                 .collect();
             let on_air: Vec<DownlinkSymbol> =
                 symbols.iter().map(|&v| DownlinkSymbol::Data(v)).collect();
-            let chirps: Vec<_> = on_air
-                .iter()
-                .map(|&s| sys.alphabet.chirp_for(s))
-                .collect();
+            let chirps: Vec<_> = on_air.iter().map(|&s| sys.alphabet.chirp_for(s)).collect();
             let train = ChirpTrain::with_fixed_period(&chirps, sys.radar.t_period)
                 .expect("alphabet fits the period");
             let mut capture = sys.front_end.capture_train(&train, snr_db, 0.0, &mut rng);
@@ -75,17 +71,14 @@ pub fn simulate_aloha(
                 let other: Vec<DownlinkSymbol> = (0..symbols_per_round)
                     .map(|_| DownlinkSymbol::Data((rng.uniform() * n_data) as u16))
                     .collect();
-                let other_chirps: Vec<_> = other
-                    .iter()
-                    .map(|&s| sys.alphabet.chirp_for(s))
-                    .collect();
-                let other_train =
-                    ChirpTrain::with_fixed_period(&other_chirps, sys.radar.t_period)
-                        .expect("alphabet fits the period");
+                let other_chirps: Vec<_> =
+                    other.iter().map(|&s| sys.alphabet.chirp_for(s)).collect();
+                let other_train = ChirpTrain::with_fixed_period(&other_chirps, sys.radar.t_period)
+                    .expect("alphabet fits the period");
                 // Interferer arrives at very high SNR too (nearby radar).
-                let interferer =
-                    sys.front_end
-                        .capture_train(&other_train, snr_db, 0.0, &mut rng);
+                let interferer = sys
+                    .front_end
+                    .capture_train(&other_train, snr_db, 0.0, &mut rng);
                 for (c, i) in capture.iter_mut().zip(&interferer) {
                     *c += i;
                 }

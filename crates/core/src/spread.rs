@@ -18,8 +18,8 @@
 //!   dominates the error rate — adjacent confusion on one chip is outvoted
 //!   by the other chips.
 
-use biscatter_radar::cssk::CsskAlphabet;
 use biscatter_link::packet::DownlinkSymbol;
+use biscatter_radar::cssk::CsskAlphabet;
 use biscatter_rf::chirp::Chirp;
 use biscatter_rf::frame::{ChirpTrain, FrameError};
 use biscatter_tag::demod::SymbolDecider;
@@ -137,12 +137,7 @@ mod tests {
         (alphabet, fe, decider)
     }
 
-    fn run(
-        code: &SpreadCode,
-        symbols: &[u16],
-        snr_db: f64,
-        seed: u64,
-    ) -> (Vec<u16>, Vec<u16>) {
+    fn run(code: &SpreadCode, symbols: &[u16], snr_db: f64, seed: u64) -> (Vec<u16>, Vec<u16>) {
         let (alphabet, fe, decider) = setup();
         let train = code.to_train(symbols, &alphabet, 120e-6).unwrap();
         let mut noise = NoiseSource::new(seed);
@@ -166,7 +161,7 @@ mod tests {
         // At every chip position, distinct symbols map to distinct slopes.
         let code = SpreadCode::new(4, 32);
         for j in 0..4 {
-            let mut seen = vec![false; 32];
+            let mut seen = [false; 32];
             for s in 0..32u16 {
                 let i = code.chip_index(s, j, 32) as usize;
                 assert!(!seen[i], "collision at position {j}");

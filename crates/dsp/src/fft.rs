@@ -51,7 +51,10 @@ pub fn ifft_pow2_in_place(data: &mut [Cpx]) {
 
 fn transform_pow2(data: &mut [Cpx], inverse: bool) {
     let n = data.len();
-    assert!(is_pow2(n), "radix-2 FFT requires power-of-two length, got {n}");
+    assert!(
+        is_pow2(n),
+        "radix-2 FFT requires power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -203,10 +206,7 @@ mod tests {
     fn assert_close(a: &[Cpx], b: &[Cpx], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
-            assert!(
-                (x - y).abs() < tol,
-                "index {i}: {x} vs {y} (tol {tol})"
-            );
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y} (tol {tol})");
         }
     }
 

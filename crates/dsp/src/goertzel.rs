@@ -351,7 +351,9 @@ mod tests {
         let freqs: Vec<f64> = (1..=8).map(|k| 0.02 * k as f64).collect();
         // Signal at the 5th frequency (index 4).
         let f_sig = freqs[4];
-        let x: Vec<f64> = (0..n).map(|i| (TAU * f_sig / fs * i as f64).cos()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (TAU * f_sig / fs * i as f64).cos())
+            .collect();
         let mut bank = GoertzelBank::new(&freqs);
         bank.process(&x);
         let (idx, f) = bank.argmax().unwrap();

@@ -37,8 +37,8 @@ pub mod goertzel;
 pub mod resample;
 pub mod signal;
 pub mod spectrum;
-pub mod stft;
 pub mod stats;
+pub mod stft;
 pub mod window;
 
 pub use complex::Cpx;

@@ -29,11 +29,7 @@ pub fn linear_interp(samples: &[f64], idx: f64) -> f64 {
 /// # Panics
 /// Panics if `src_grid` and `values` lengths differ.
 pub fn resample_to_grid(src_grid: &[f64], values: &[f64], dst_grid: &[f64]) -> Vec<f64> {
-    assert_eq!(
-        src_grid.len(),
-        values.len(),
-        "grid/value length mismatch"
-    );
+    assert_eq!(src_grid.len(), values.len(), "grid/value length mismatch");
     if src_grid.is_empty() {
         return vec![0.0; dst_grid.len()];
     }

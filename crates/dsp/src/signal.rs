@@ -146,9 +146,7 @@ mod tests {
         let n = 1000;
         let x = chirp(n, f0, slope, fs, 1.0, 0.0);
         // Find zero crossings and check spacing shrinks over time.
-        let crossings: Vec<usize> = (1..n)
-            .filter(|&i| x[i - 1] < 0.0 && x[i] >= 0.0)
-            .collect();
+        let crossings: Vec<usize> = (1..n).filter(|&i| x[i - 1] < 0.0 && x[i] >= 0.0).collect();
         assert!(crossings.len() > 3);
         let first_gap = crossings[1] - crossings[0];
         let last_gap = crossings[crossings.len() - 1] - crossings[crossings.len() - 2];

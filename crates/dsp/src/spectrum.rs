@@ -84,7 +84,11 @@ pub fn find_peaks_above(power: &[f64], threshold: f64) -> Vec<Peak> {
     let n = power.len();
     let mut peaks = Vec::new();
     for i in 0..n {
-        let left = if i > 0 { power[i - 1] } else { f64::NEG_INFINITY };
+        let left = if i > 0 {
+            power[i - 1]
+        } else {
+            f64::NEG_INFINITY
+        };
         let right = if i + 1 < n {
             power[i + 1]
         } else {

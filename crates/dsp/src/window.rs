@@ -31,12 +31,16 @@ impl WindowKind {
             WindowKind::Hann => cosine_window(n, &[0.5, 0.5]),
             WindowKind::Hamming => cosine_window(n, &[0.54, 0.46]),
             WindowKind::Blackman => cosine_window(n, &[0.42, 0.5, 0.08]),
-            WindowKind::BlackmanHarris => {
-                cosine_window(n, &[0.35875, 0.48829, 0.14128, 0.01168])
-            }
+            WindowKind::BlackmanHarris => cosine_window(n, &[0.35875, 0.48829, 0.14128, 0.01168]),
             WindowKind::FlatTop => cosine_window(
                 n,
-                &[0.21557895, 0.41663158, 0.277263158, 0.083578947, 0.006947368],
+                &[
+                    0.21557895,
+                    0.41663158,
+                    0.277263158,
+                    0.083578947,
+                    0.006947368,
+                ],
             ),
         }
     }
@@ -131,10 +135,7 @@ mod tests {
 
     #[test]
     fn rect_is_all_ones() {
-        assert!(WindowKind::Rect
-            .coefficients(8)
-            .iter()
-            .all(|&w| w == 1.0));
+        assert!(WindowKind::Rect.coefficients(8).iter().all(|&w| w == 1.0));
     }
 
     #[test]
@@ -162,7 +163,10 @@ mod tests {
         ] {
             let w = kind.coefficients(101);
             for &x in &w {
-                assert!(x <= 1.0 + 1e-9 && x >= -0.1, "{kind:?} out of range: {x}");
+                assert!(
+                    (-0.1..=1.0 + 1e-9).contains(&x),
+                    "{kind:?} out of range: {x}"
+                );
             }
         }
     }

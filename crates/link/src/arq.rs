@@ -23,11 +23,7 @@ impl ArqFrame {
     /// is the low 7 bits of the byte sum; the sequence bit rides the MSB.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.payload.len() + 1);
-        let sum: u8 = self
-            .payload
-            .iter()
-            .fold(0u8, |acc, &b| acc.wrapping_add(b))
-            & 0x7F;
+        let sum: u8 = self.payload.iter().fold(0u8, |acc, &b| acc.wrapping_add(b)) & 0x7F;
         out.push(sum | ((self.seq as u8) << 7));
         out.extend_from_slice(&self.payload);
         out

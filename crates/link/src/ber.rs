@@ -87,11 +87,7 @@ impl BerCounter {
 /// Counts symbol errors between two symbol sequences.
 pub fn symbol_errors(sent: &[u16], received: &[u16]) -> (u64, u64) {
     let common = sent.len().min(received.len());
-    let mut errors = sent
-        .iter()
-        .zip(received)
-        .filter(|(a, b)| a != b)
-        .count() as u64;
+    let mut errors = sent.iter().zip(received).filter(|(a, b)| a != b).count() as u64;
     errors += sent.len().abs_diff(received.len()) as u64;
     (errors, common.max(sent.len().max(received.len())) as u64)
 }

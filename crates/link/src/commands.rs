@@ -8,7 +8,6 @@
 //! whole command fits in a handful of CSSK symbols.
 
 use crate::mac::TagAddress;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Command opcodes and arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,24 +76,19 @@ pub const COMMAND_WIRE_LEN: usize = 4;
 
 impl AddressedCommand {
     /// Encodes to the 4-byte wire format: `[opcode, address, arg_hi, arg_lo]`.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(COMMAND_WIRE_LEN);
-        buf.put_u8(self.command.opcode());
-        buf.put_u8(self.to.wire_byte());
-        buf.put_u16(self.command.argument());
-        buf.freeze()
+    pub fn encode(&self) -> Vec<u8> {
+        let arg = self.command.argument().to_be_bytes();
+        vec![self.command.opcode(), self.to.wire_byte(), arg[0], arg[1]]
     }
 
     /// Decodes from wire bytes.
-    pub fn decode(mut data: &[u8]) -> Result<AddressedCommand, CommandError> {
+    pub fn decode(data: &[u8]) -> Result<AddressedCommand, CommandError> {
         if data.len() < COMMAND_WIRE_LEN {
-            return Err(CommandError::Truncated {
-                got: data.len(),
-            });
+            return Err(CommandError::Truncated { got: data.len() });
         }
-        let opcode = data.get_u8();
-        let addr = data.get_u8();
-        let arg = data.get_u16();
+        let opcode = data[0];
+        let addr = data[1];
+        let arg = u16::from_be_bytes([data[2], data[3]]);
         let command = match opcode {
             0x01 => Command::Ping,
             0x02 => Command::SetModulationFreq { freq_centihz: arg },

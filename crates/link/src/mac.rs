@@ -217,7 +217,10 @@ mod tests {
                 break;
             }
         }
-        assert!(assigned >= 1 && assigned <= cap + 1, "assigned {assigned}, cap {cap}");
+        assert!(
+            assigned >= 1 && assigned <= cap + 1,
+            "assigned {assigned}, cap {cap}"
+        );
         // Once exhausted, further assignments fail.
         assert!(p.assign(TagId(250)).is_none());
     }

@@ -10,7 +10,9 @@
 //! **Uplink**: the tag's OOK/FSK bit stream, framed with a fixed preamble so
 //! the radar can align bit boundaries after localization.
 
-use crate::bits::{bits_to_bytes, bits_to_symbols, bytes_to_bits, gray_decode, gray_encode, symbols_to_bits};
+use crate::bits::{
+    bits_to_bytes, bits_to_symbols, bytes_to_bits, gray_decode, gray_encode, symbols_to_bits,
+};
 
 /// A symbol on the downlink air interface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,7 +252,10 @@ mod tests {
 
     #[test]
     fn parse_empty_fails() {
-        assert_eq!(parse_downlink(&[], 4, None).unwrap_err(), PacketError::Empty);
+        assert_eq!(
+            parse_downlink(&[], 4, None).unwrap_err(),
+            PacketError::Empty
+        );
     }
 
     #[test]

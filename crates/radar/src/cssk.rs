@@ -183,7 +183,9 @@ impl CsskAlphabet {
         let s = 1.0 / duration;
         let s0 = 1.0 / self.durations[0];
         let step = self.inv_duration_step();
-        let idx = ((s - s0) / step).round().clamp(0.0, (self.n_slopes() - 1) as f64) as usize;
+        let idx = ((s - s0) / step)
+            .round()
+            .clamp(0.0, (self.n_slopes() - 1) as f64) as usize;
         match idx {
             0 => DownlinkSymbol::Header,
             1 => DownlinkSymbol::Sync,
@@ -260,8 +262,7 @@ mod tests {
         let a = alphabet(5);
         let delta_t = 18.0 * 0.0254 / (0.7 * 299_792_458.0);
         let f_lo = a.beat_freq_for(DownlinkSymbol::Header, delta_t);
-        let f_hi =
-            a.beat_freq_for(DownlinkSymbol::Data(a.n_data_symbols() as u16 - 1), delta_t);
+        let f_hi = a.beat_freq_for(DownlinkSymbol::Data(a.n_data_symbols() as u16 - 1), delta_t);
         assert!((f_lo - 22_687.0).abs() < 200.0, "low {f_lo}");
         assert!((f_hi - 108_900.0).abs() < 500.0, "high {f_hi}");
     }

@@ -137,7 +137,11 @@ mod tests {
         let scene = Scene::new().with(Scatterer::tag(4.0, 1.0, f_mod()));
         let frames = frames_for(&scene, 2, 1);
         let pos = locate_tag_2d(&frames, SPACING, f_mod(), 10.0).expect("found");
-        assert!(pos.azimuth_rad.abs() < 2f64.to_radians(), "az {}", pos.azimuth_rad);
+        assert!(
+            pos.azimuth_rad.abs() < 2f64.to_radians(),
+            "az {}",
+            pos.azimuth_rad
+        );
         assert!((pos.range_m - 4.0).abs() < 0.1);
     }
 
@@ -145,8 +149,7 @@ mod tests {
     fn angled_tag_estimated() {
         for az_deg in [-35.0f64, -10.0, 15.0, 40.0] {
             let az = az_deg.to_radians();
-            let scene =
-                Scene::new().with(Scatterer::tag(3.5, 1.0, f_mod()).at_azimuth(az));
+            let scene = Scene::new().with(Scatterer::tag(3.5, 1.0, f_mod()).at_azimuth(az));
             let frames = frames_for(&scene, 2, 2);
             let pos = locate_tag_2d(&frames, SPACING, f_mod(), 10.0).expect("found");
             assert!(
@@ -189,8 +192,8 @@ mod tests {
 
     #[test]
     fn cartesian_conversion() {
-        let scene = Scene::new()
-            .with(Scatterer::tag(4.0, 1.0, f_mod()).at_azimuth(30f64.to_radians()));
+        let scene =
+            Scene::new().with(Scatterer::tag(4.0, 1.0, f_mod()).at_azimuth(30f64.to_radians()));
         let frames = frames_for(&scene, 2, 5);
         let pos = locate_tag_2d(&frames, SPACING, f_mod(), 10.0).expect("found");
         let (x, y) = pos.cartesian();

@@ -97,11 +97,11 @@ pub fn range_doppler(frame: &AlignedFrame) -> RangeDopplerMap {
 mod tests {
     use super::*;
     use crate::receiver::{align_frame, RxConfig};
+    use biscatter_dsp::signal::NoiseSource;
     use biscatter_rf::chirp::Chirp;
     use biscatter_rf::frame::ChirpTrain;
     use biscatter_rf::if_gen::IfReceiver;
     use biscatter_rf::scene::{Scatterer, Scene};
-    use biscatter_dsp::signal::NoiseSource;
 
     fn run_frame(scene: &Scene, n_chirps: usize, seed: u64) -> RangeDopplerMap {
         let chirps = vec![Chirp::new(9e9, 1e9, 96e-6); n_chirps];
@@ -121,9 +121,7 @@ mod tests {
         map.range_grid
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - r).abs().partial_cmp(&(b.1 - r).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.1 - r).abs().partial_cmp(&(b.1 - r).abs()).unwrap())
             .unwrap()
             .0
     }

@@ -45,10 +45,10 @@ mod tests {
     use super::*;
     use crate::receiver::range_profile::{complex_profile, power_profile};
     use biscatter_dsp::resample::linspace;
+    use biscatter_dsp::signal::NoiseSource;
     use biscatter_dsp::spectrum::find_peak;
     use biscatter_rf::if_gen::IfReceiver;
     use biscatter_rf::scene::{Scatterer, Scene};
-    use biscatter_dsp::signal::NoiseSource;
 
     fn rx() -> IfReceiver {
         IfReceiver {

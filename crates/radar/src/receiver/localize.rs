@@ -49,11 +49,7 @@ pub fn signature_score(map: &RangeDopplerMap, f_mod_hz: f64) -> Vec<f64> {
 /// Locates the tag with modulation frequency `f_mod_hz`. Returns `None` when
 /// the signature peak does not clear `min_snr_db` above the slice's noise
 /// floor (no tag present / out of range).
-pub fn locate_tag(
-    map: &RangeDopplerMap,
-    f_mod_hz: f64,
-    min_snr_db: f64,
-) -> Option<TagLocation> {
+pub fn locate_tag(map: &RangeDopplerMap, f_mod_hz: f64, min_snr_db: f64) -> Option<TagLocation> {
     let score = signature_score(map, f_mod_hz);
     let peak = find_peak(&score)?;
     let floor = noise_floor(&score);
@@ -83,11 +79,11 @@ mod tests {
     use super::*;
     use crate::receiver::doppler::range_doppler;
     use crate::receiver::{align_frame, RxConfig};
+    use biscatter_dsp::signal::NoiseSource;
     use biscatter_rf::chirp::Chirp;
     use biscatter_rf::frame::ChirpTrain;
     use biscatter_rf::if_gen::IfReceiver;
     use biscatter_rf::scene::{Scatterer, Scene};
-    use biscatter_dsp::signal::NoiseSource;
 
     fn locate_in_scene(
         scene: &Scene,

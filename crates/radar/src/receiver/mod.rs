@@ -108,11 +108,7 @@ impl AlignedFrame {
 /// common grid, optional background subtraction.
 ///
 /// `if_per_chirp[i]` are the dechirped samples of chirp `i` of `train`.
-pub fn align_frame(
-    cfg: &RxConfig,
-    train: &ChirpTrain,
-    if_per_chirp: &[Vec<f64>],
-) -> AlignedFrame {
+pub fn align_frame(cfg: &RxConfig, train: &ChirpTrain, if_per_chirp: &[Vec<f64>]) -> AlignedFrame {
     assert_eq!(
         train.len(),
         if_per_chirp.len(),

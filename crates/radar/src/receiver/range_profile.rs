@@ -27,10 +27,7 @@ pub fn complex_profile(if_samples: &[f64], n_fft: usize) -> Vec<Cpx> {
     }
     let spec = fft(&buf);
     let norm = 1.0 / (n as f64 * cg);
-    spec.iter()
-        .take(n_fft / 2 + 1)
-        .map(|&z| z * norm)
-        .collect()
+    spec.iter().take(n_fft / 2 + 1).map(|&z| z * norm).collect()
 }
 
 /// Power profile (|X|²) of the half spectrum.
@@ -61,10 +58,7 @@ mod tests {
         let p_short = power_profile(&complex_profile(&short, 1024));
         let a = find_peak(&p_long).unwrap().power;
         let b = find_peak(&p_short).unwrap().power;
-        assert!(
-            (a / b - 1.0).abs() < 0.05,
-            "peaks differ: {a} vs {b}"
-        );
+        assert!((a / b - 1.0).abs() < 0.05, "peaks differ: {a} vs {b}");
         // Absolute calibration: amplitude-1 real tone -> |X| = 0.5.
         assert!((a.sqrt() - 0.5).abs() < 0.05, "peak amp {}", a.sqrt());
     }

@@ -57,11 +57,7 @@ pub fn demodulate(
     }
     // Amplitude sequence at the tag's range (magnitude discards the static
     // phase and any residual from background subtraction).
-    let amp: Vec<f64> = frame
-        .profiles
-        .iter()
-        .map(|p| p[range_bin].abs())
-        .collect();
+    let amp: Vec<f64> = frame.profiles.iter().map(|p| p[range_bin].abs()).collect();
     let fs_slow = frame.chirp_rate();
     let n_bits = amp.len() / chirps_per_bit;
 
@@ -134,11 +130,11 @@ fn two_level_threshold(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::receiver::{align_frame, RxConfig};
+    use biscatter_dsp::signal::NoiseSource;
     use biscatter_rf::chirp::Chirp;
     use biscatter_rf::frame::ChirpTrain;
     use biscatter_rf::if_gen::IfReceiver;
     use biscatter_rf::scene::{Scatterer, Scene, TagModulation};
-    use biscatter_dsp::signal::NoiseSource;
 
     /// Builds a frame with a tag transmitting `bits` and returns the aligned
     /// frame plus the tag's range bin.
@@ -175,9 +171,7 @@ mod tests {
             modulation,
             leak: 0.01,
         };
-        let scene = Scene::new()
-            .with(Scatterer::clutter(2.0, 3.0))
-            .with(tag);
+        let scene = Scene::new().with(Scatterer::clutter(2.0, 3.0)).with(tag);
         let rx = IfReceiver {
             sample_rate_hz: 10e6,
             noise_sigma,

@@ -181,10 +181,7 @@ mod tests {
         let scene = Scene::new().with(Scatterer::tag(3.0, 1.0, 1041.7));
         let map = run_map(&scene, 256, 2);
         let dets = detect_movers(&map, 9e9, 5.0, 50.0, 8);
-        assert!(
-            dets.is_empty(),
-            "tag misread as mover: {dets:?}"
-        );
+        assert!(dets.is_empty(), "tag misread as mover: {dets:?}");
     }
 
     #[test]

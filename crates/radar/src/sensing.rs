@@ -75,8 +75,8 @@ impl CfarDetector {
                 continue;
             }
             let noise = acc / count as f64;
-            let is_local_max = (i == 0 || power[i] >= power[i - 1])
-                && (i + 1 == n || power[i] > power[i + 1]);
+            let is_local_max =
+                (i == 0 || power[i] >= power[i - 1]) && (i + 1 == n || power[i] > power[i + 1]);
             if is_local_max && power[i] > self.threshold_factor * noise {
                 let refined = find_peaks_above(&power[i.saturating_sub(1)..(i + 2).min(n)], 0.0);
                 let refined_bin = refined
@@ -222,7 +222,11 @@ mod tests {
         }
         let final_truth = 10.0 - 1.0 * 99.0 * dt;
         assert!((estimate - final_truth).abs() < 0.1, "estimate {estimate}");
-        assert!((tracker.velocity() + 1.0).abs() < 0.2, "vel {}", tracker.velocity());
+        assert!(
+            (tracker.velocity() + 1.0).abs() < 0.2,
+            "vel {}",
+            tracker.velocity()
+        );
     }
 
     #[test]

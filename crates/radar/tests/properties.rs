@@ -8,10 +8,15 @@ use biscatter_radar::sensing::AlphaBetaTracker;
 use proptest::prelude::*;
 
 fn arb_alphabet() -> impl Strategy<Value = CsskAlphabet> {
-    (1usize..=8, 10e-6f64..30e-6, 100e-6f64..300e-6, 100e6f64..2e9).prop_filter_map(
-        "valid alphabet",
-        |(bits, t_min, t_period, bw)| CsskAlphabet::new(9e9, bw, bits, t_min, t_period).ok(),
+    (
+        1usize..=8,
+        10e-6f64..30e-6,
+        100e-6f64..300e-6,
+        100e6f64..2e9,
     )
+        .prop_filter_map("valid alphabet", |(bits, t_min, t_period, bw)| {
+            CsskAlphabet::new(9e9, bw, bits, t_min, t_period).ok()
+        })
 }
 
 proptest! {

@@ -13,7 +13,10 @@ use biscatter_dsp::stats::{db_to_pow, pow_to_db};
 /// Free-space path loss in dB for a one-way trip of `d` metres at `f` Hz:
 /// `20 log10(4 π d f / c)`.
 pub fn fspl_db(d_m: f64, f_hz: f64) -> f64 {
-    assert!(d_m > 0.0 && f_hz > 0.0, "distance and frequency must be positive");
+    assert!(
+        d_m > 0.0 && f_hz > 0.0,
+        "distance and frequency must be positive"
+    );
     20.0 * (4.0 * std::f64::consts::PI * d_m * f_hz / SPEED_OF_LIGHT).log10()
 }
 
@@ -74,8 +77,8 @@ impl TwoWayLink {
         let sigma = db_to_pow(self.tag_rcs_dbsm);
         let p_tx_mw = db_to_pow(self.tx_power_dbm);
         let four_pi = 4.0 * std::f64::consts::PI;
-        let p_rx_mw = p_tx_mw * g_lin * g_lin * lambda * lambda * sigma
-            / (four_pi.powi(3) * d_m.powi(4));
+        let p_rx_mw =
+            p_tx_mw * g_lin * g_lin * lambda * lambda * sigma / (four_pi.powi(3) * d_m.powi(4));
         pow_to_db(p_rx_mw) - self.misc_loss_db
     }
 }
@@ -174,8 +177,7 @@ impl DownlinkBudget {
             - self.decoder_noise_floor_dbm;
         let fspl = budget - snr_db;
         // fspl = 20 log10(4 pi d f / c)  =>  d = c 10^(fspl/20) / (4 pi f)
-        SPEED_OF_LIGHT * 10f64.powf(fspl / 20.0)
-            / (4.0 * std::f64::consts::PI * self.link.freq_hz)
+        SPEED_OF_LIGHT * 10f64.powf(fspl / 20.0) / (4.0 * std::f64::consts::PI * self.link.freq_hz)
     }
 }
 
@@ -292,7 +294,11 @@ mod tests {
         let fs = Environment::free_space().one_way_total_rx_dbm(&link, 3.0);
         let office = Environment::office().one_way_total_rx_dbm(&link, 3.0);
         assert!(office > fs);
-        assert!(office - fs < 3.0, "multipath shouldn't dominate: +{}", office - fs);
+        assert!(
+            office - fs < 3.0,
+            "multipath shouldn't dominate: +{}",
+            office - fs
+        );
     }
 
     #[test]

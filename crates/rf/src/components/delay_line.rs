@@ -192,8 +192,7 @@ impl MeanderLine {
         let phase_full =
             2.0 * std::f64::consts::PI * 2.0 * self.trace_length_m * e * f_hz / SPEED_OF_LIGHT;
         let turn_len = self.trace_length_m / self.n_turns.max(1) as f64;
-        let phase_turn =
-            2.0 * std::f64::consts::PI * 2.0 * turn_len * e * f_hz / SPEED_OF_LIGHT;
+        let phase_turn = 2.0 * std::f64::consts::PI * 2.0 * turn_len * e * f_hz / SPEED_OF_LIGHT;
         baseline + ripple_amp * phase_full.sin() + 0.2 * ripple_amp * phase_turn.sin()
     }
 
@@ -214,8 +213,7 @@ impl MeanderLine {
 /// `(εr + 1)/2 + (εr − 1)/2 · 1/sqrt(1 + 12 h/w)`.
 fn effective_permittivity(epsilon_r: f64) -> f64 {
     let w_over_h = 1.5f64;
-    (epsilon_r + 1.0) / 2.0
-        + (epsilon_r - 1.0) / 2.0 / (1.0 + 12.0 / w_over_h).sqrt()
+    (epsilon_r + 1.0) / 2.0 + (epsilon_r - 1.0) / 2.0 / (1.0 + 12.0 / w_over_h).sqrt()
 }
 
 #[cfg(test)]
@@ -317,7 +315,9 @@ mod tests {
     fn meander_s11_ripples() {
         // The ripple should produce both rising and falling segments in-band.
         let m = MeanderLine::paper_9ghz_design();
-        let v: Vec<f64> = (0..=100).map(|i| m.s11_db(9.0e9 + i as f64 * 1e7)).collect();
+        let v: Vec<f64> = (0..=100)
+            .map(|i| m.s11_db(9.0e9 + i as f64 * 1e7))
+            .collect();
         let rising = v.windows(2).filter(|w| w[1] > w[0]).count();
         let falling = v.windows(2).filter(|w| w[1] < w[0]).count();
         assert!(rising > 10 && falling > 10);

@@ -105,10 +105,7 @@ mod tests {
         let out = det.detect(&x, fs);
         let tail = &out[10_000..];
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let ripple = tail
-            .iter()
-            .map(|v| (v - mean).abs())
-            .fold(0.0f64, f64::max);
+        let ripple = tail.iter().map(|v| (v - mean).abs()).fold(0.0f64, f64::max);
         assert!((mean - 0.5).abs() < 0.02, "DC should be a²/2, got {mean}");
         assert!(ripple < 0.02, "2f ripple too strong: {ripple}");
     }
@@ -120,9 +117,7 @@ mod tests {
         assert!((det.analytic_output(1.0, 0.0) - 2.0).abs() < 1e-12);
         assert!(det.analytic_output(1.0, std::f64::consts::PI) < 1e-12);
         // Quadrature: a².
-        assert!(
-            (det.analytic_output(2.0, std::f64::consts::FRAC_PI_2) - 4.0).abs() < 1e-12
-        );
+        assert!((det.analytic_output(2.0, std::f64::consts::FRAC_PI_2) - 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -149,7 +144,10 @@ mod tests {
         let tail = &out[n / 2..];
         let max = tail.iter().cloned().fold(f64::MIN, f64::max);
         let min = tail.iter().cloned().fold(f64::MAX, f64::min);
-        assert!((max - det.analytic_output(1.0, 0.0)).abs() < 0.1, "max {max}");
+        assert!(
+            (max - det.analytic_output(1.0, 0.0)).abs() < 0.1,
+            "max {max}"
+        );
         assert!(min.abs() < 0.1, "min {min}");
     }
 }

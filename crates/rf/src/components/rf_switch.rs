@@ -137,8 +137,7 @@ mod tests {
         let samples = 10_000;
         let reflective = (0..samples)
             .filter(|&i| {
-                sw.state_at(i as f64 / samples as f64 * 0.1, f, 0.25)
-                    == SwitchState::Reflective
+                sw.state_at(i as f64 / samples as f64 * 0.1, f, 0.25) == SwitchState::Reflective
             })
             .count();
         assert!((reflective as f64 / samples as f64 - 0.25).abs() < 0.02);

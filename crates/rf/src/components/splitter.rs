@@ -95,8 +95,6 @@ mod tests {
             imbalance_db: 1.0,
         };
         assert!(s.port_loss_db(SplitPort::A) < s.port_loss_db(SplitPort::B));
-        assert!(
-            (s.port_loss_db(SplitPort::B) - s.port_loss_db(SplitPort::A) - 1.0).abs() < 1e-12
-        );
+        assert!((s.port_loss_db(SplitPort::B) - s.port_loss_db(SplitPort::A) - 1.0).abs() < 1e-12);
     }
 }

@@ -158,9 +158,8 @@ mod tests {
 
     #[test]
     fn fixed_period_fills_delays() {
-        let train =
-            ChirpTrain::with_fixed_period(&[chirp(20.0), chirp(50.0), chirp(96.0)], 120e-6)
-                .unwrap();
+        let train = ChirpTrain::with_fixed_period(&[chirp(20.0), chirp(50.0), chirp(96.0)], 120e-6)
+            .unwrap();
         assert_eq!(train.len(), 3);
         for slot in train.slots() {
             assert!((slot.period() - 120e-6).abs() < 1e-12);
@@ -182,8 +181,7 @@ mod tests {
 
     #[test]
     fn duration_and_slot_start() {
-        let train =
-            ChirpTrain::with_fixed_period(&[chirp(20.0), chirp(30.0)], 120e-6).unwrap();
+        let train = ChirpTrain::with_fixed_period(&[chirp(20.0), chirp(30.0)], 120e-6).unwrap();
         assert!((train.duration() - 240e-6).abs() < 1e-12);
         assert_eq!(train.slot_start(0), 0.0);
         assert!((train.slot_start(1) - 120e-6).abs() < 1e-12);
@@ -191,9 +189,8 @@ mod tests {
 
     #[test]
     fn iter_timed_matches_slot_start() {
-        let train =
-            ChirpTrain::with_fixed_period(&[chirp(20.0), chirp(30.0), chirp(40.0)], 120e-6)
-                .unwrap();
+        let train = ChirpTrain::with_fixed_period(&[chirp(20.0), chirp(30.0), chirp(40.0)], 120e-6)
+            .unwrap();
         for (i, (t, _)) in train.iter_timed().enumerate() {
             assert!((t - train.slot_start(i)).abs() < 1e-15);
         }

@@ -88,8 +88,7 @@ impl TagFrontEnd {
         let f_inst = chirp.instantaneous_freq(t);
         let dt = self.delta_t_at(f_inst);
         let alpha = chirp.slope();
-        let delta_phi =
-            TAU * (chirp.f0 * dt + alpha * dt * t - 0.5 * alpha * dt * dt) + phase0;
+        let delta_phi = TAU * (chirp.f0 * dt + alpha * dt * t - 0.5 * alpha * dt * dt) + phase0;
         Some(self.detector.analytic_output(1.0, delta_phi))
     }
 
@@ -174,7 +173,8 @@ impl TagFrontEnd {
     /// Total front-end insertion loss at frequency `f` (two splitter
     /// passes + mean delay-line loss), dB — feeds the downlink budget.
     pub fn insertion_loss_db(&self, f_hz: f64) -> f64 {
-        self.splitter.port_loss_db(crate::components::splitter::SplitPort::A)
+        self.splitter
+            .port_loss_db(crate::components::splitter::SplitPort::A)
             + self.splitter.combine_loss_db()
             + self.pair.mean_insertion_loss_db(f_hz)
     }
@@ -305,9 +305,7 @@ mod tests {
         let aligned = fe.capture_train(&train, 60.0, 0.0, &mut n1);
         let shifted = fe.capture_train(&train, 60.0, 30e-6, &mut n2);
         // With a 30 µs offset the sweep ends 30 samples earlier.
-        let p = |v: &[f64], lo: usize, hi: usize| {
-            v[lo..hi].iter().map(|x| x * x).sum::<f64>()
-        };
+        let p = |v: &[f64], lo: usize, hi: usize| v[lo..hi].iter().map(|x| x * x).sum::<f64>();
         assert!(p(&aligned, 40, 60) > 10.0 * p(&shifted, 40, 60));
     }
 

@@ -9,8 +9,7 @@ use biscatter_rf::scene::TagModulation;
 use proptest::prelude::*;
 
 fn arb_chirp() -> impl Strategy<Value = Chirp> {
-    (1e9f64..30e9, 100e6f64..4e9, 10e-6f64..300e-6)
-        .prop_map(|(f0, b, t)| Chirp::new(f0, b, t))
+    (1e9f64..30e9, 100e6f64..4e9, 10e-6f64..300e-6).prop_map(|(f0, b, t)| Chirp::new(f0, b, t))
 }
 
 proptest! {

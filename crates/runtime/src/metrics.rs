@@ -1,0 +1,399 @@
+//! Per-stage runtime metrics: frame counters, queue congestion, and
+//! log-bucketed latency histograms with percentile estimation.
+//!
+//! Counters are lock-free (`AtomicU64` with relaxed ordering — they are
+//! statistics, not synchronization), so recording from worker threads costs a
+//! few atomic adds per frame. A [`MetricsSnapshot`] is an immutable copy taken
+//! after (or during) a run, exportable as aligned text or JSON via
+//! [`biscatter_core::json`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use biscatter_core::json::Value;
+
+/// Number of power-of-two latency buckets. Bucket `i` counts samples with
+/// `ns < 2^i` (and `>= 2^(i-1)` for `i > 0`); 48 buckets span ~78 hours.
+const BUCKETS: usize = 48;
+
+/// Concurrent log-bucketed histogram of durations.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Copies the histogram into an immutable [`LatencySnapshot`].
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency over all samples.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns / self.count)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Estimated latency at quantile `q` in `[0, 1]`, resolved to the upper
+    /// edge of the log bucket containing that rank (≤ 2x overestimate).
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let upper_ns = if i >= 63 { u64::MAX } else { 1u64 << i };
+                return Duration::from_nanos(upper_ns.min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+/// Live counters for one pipeline stage.
+pub struct StageMetrics {
+    name: &'static str,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl StageMetrics {
+    pub fn new(name: &'static str) -> Self {
+        StageMetrics {
+            name,
+            frames_in: AtomicU64::new(0),
+            frames_out: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one frame flowing through the stage in `took` processing time.
+    pub fn record_frame(&self, took: Duration) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(took);
+    }
+
+    /// Records a frame that entered the stage but was not emitted
+    /// (e.g. the downstream queue was closed).
+    pub fn record_swallowed(&self, took: Duration) {
+        self.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(took);
+    }
+
+    /// Copies the counters into an immutable [`StageSnapshot`], attaching the
+    /// stage's input-queue congestion stats.
+    pub fn snapshot(&self, queue_high_water: usize, queue_drops: u64) -> StageSnapshot {
+        StageSnapshot {
+            name: self.name,
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            queue_high_water,
+            queue_drops,
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Immutable per-stage statistics inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct StageSnapshot {
+    pub name: &'static str,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    /// Deepest the stage's *input* queue ever got.
+    pub queue_high_water: usize,
+    /// Frames evicted from the stage's input queue under drop-oldest.
+    pub queue_drops: u64,
+    pub latency: LatencySnapshot,
+}
+
+/// Full metrics picture of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub stages: Vec<StageSnapshot>,
+    /// End-to-end latency (job enqueued -> outcome at sink).
+    pub end_to_end: LatencySnapshot,
+    /// Frames that reached the sink.
+    pub frames_completed: u64,
+    /// Total frames dropped across all queues.
+    pub total_drops: u64,
+    pub elapsed: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Completed frames per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.frames_completed as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Renders an aligned human-readable table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "pipeline: {} frames in {:.3} s ({:.1} frames/s), {} dropped\n",
+            self.frames_completed,
+            self.elapsed.as_secs_f64(),
+            self.frames_per_sec(),
+            self.total_drops,
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "in", "out", "hiwat", "drops", "p50", "p90", "p99", "max"
+        ));
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<12} {:>8} {:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                s.name,
+                s.frames_in,
+                s.frames_out,
+                s.queue_high_water,
+                s.queue_drops,
+                fmt_dur(s.latency.percentile(0.50)),
+                fmt_dur(s.latency.percentile(0.90)),
+                fmt_dur(s.latency.percentile(0.99)),
+                fmt_dur(s.latency.max()),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>8} {:>6} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+            "end-to-end",
+            self.end_to_end.count(),
+            self.end_to_end.count(),
+            "-",
+            "-",
+            fmt_dur(self.end_to_end.percentile(0.50)),
+            fmt_dur(self.end_to_end.percentile(0.90)),
+            fmt_dur(self.end_to_end.percentile(0.99)),
+            fmt_dur(self.end_to_end.max()),
+        ));
+        out
+    }
+
+    /// Renders the snapshot as a JSON value.
+    pub fn to_json(&self) -> Value {
+        let mut root = std::collections::BTreeMap::new();
+        root.insert(
+            "frames_completed".to_string(),
+            Value::Number(self.frames_completed as f64),
+        );
+        root.insert(
+            "total_drops".to_string(),
+            Value::Number(self.total_drops as f64),
+        );
+        root.insert(
+            "elapsed_s".to_string(),
+            Value::Number(self.elapsed.as_secs_f64()),
+        );
+        root.insert(
+            "frames_per_sec".to_string(),
+            Value::Number(self.frames_per_sec()),
+        );
+        root.insert(
+            "stages".to_string(),
+            Value::Array(
+                self.stages
+                    .iter()
+                    .map(|s| {
+                        let mut m = latency_json(&s.latency);
+                        m.insert("name".to_string(), Value::String(s.name.to_string()));
+                        m.insert("frames_in".to_string(), Value::Number(s.frames_in as f64));
+                        m.insert("frames_out".to_string(), Value::Number(s.frames_out as f64));
+                        m.insert(
+                            "queue_high_water".to_string(),
+                            Value::Number(s.queue_high_water as f64),
+                        );
+                        m.insert(
+                            "queue_drops".to_string(),
+                            Value::Number(s.queue_drops as f64),
+                        );
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "end_to_end".to_string(),
+            Value::Object(latency_json(&self.end_to_end)),
+        );
+        Value::Object(root)
+    }
+}
+
+fn latency_json(l: &LatencySnapshot) -> std::collections::BTreeMap<String, Value> {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("count".to_string(), Value::Number(l.count() as f64));
+    m.insert(
+        "mean_us".to_string(),
+        Value::Number(l.mean().as_secs_f64() * 1e6),
+    );
+    m.insert(
+        "p50_us".to_string(),
+        Value::Number(l.percentile(0.50).as_secs_f64() * 1e6),
+    );
+    m.insert(
+        "p90_us".to_string(),
+        Value::Number(l.percentile(0.90).as_secs_f64() * 1e6),
+    );
+    m.insert(
+        "p99_us".to_string(),
+        Value::Number(l.percentile(0.99).as_secs_f64() * 1e6),
+    );
+    m.insert(
+        "max_us".to_string(),
+        Value::Number(l.max().as_secs_f64() * 1e6),
+    );
+    m
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{}ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentile_brackets_samples() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        // p50 falls in the bucket holding 20-40us samples; log buckets may
+        // overestimate by up to 2x but never land above the max sample.
+        let p50 = s.percentile(0.50);
+        assert!(p50 >= Duration::from_micros(20) && p50 <= Duration::from_micros(128));
+        assert_eq!(s.max(), Duration::from_micros(1000));
+        assert!(s.percentile(1.0) <= s.max());
+        assert_eq!(s.mean(), Duration::from_micros(220));
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0;
+        for ns in [0u64, 1, 2, 3, 1000, 1_000_000, u64::MAX] {
+            let b = bucket_index(ns);
+            assert!(b >= last);
+            assert!(b < BUCKETS);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn snapshot_renders_text_and_json() {
+        let stage = StageMetrics::new("demo");
+        stage.record_frame(Duration::from_micros(150));
+        stage.record_frame(Duration::from_micros(250));
+        let e2e = LatencyHistogram::default();
+        e2e.record(Duration::from_millis(2));
+        let snap = MetricsSnapshot {
+            stages: vec![stage.snapshot(1, 0)],
+            end_to_end: e2e.snapshot(),
+            frames_completed: 2,
+            total_drops: 0,
+            elapsed: Duration::from_millis(10),
+        };
+        let text = snap.to_text();
+        assert!(text.contains("demo"));
+        assert!(text.contains("end-to-end"));
+        let json = snap.to_json().to_pretty();
+        let parsed = biscatter_core::json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(
+            parsed.get("frames_completed").and_then(Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(
+            parsed
+                .get("stages")
+                .and_then(Value::as_array)
+                .map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

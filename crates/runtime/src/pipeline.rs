@@ -1,0 +1,376 @@
+//! The staged streaming pipeline.
+//!
+//! Frame jobs flow through five stages, each on its own worker pool, joined
+//! by bounded queues:
+//!
+//! ```text
+//! source -> [synthesize] -> [dechirp] -> [align] -> [doppler] -> [detect] -> sink
+//! ```
+//!
+//! Every queue applies the configured [`Backpressure`] policy, so a slow
+//! stage either throttles its upstream (lossless `Block`) or sheds the
+//! oldest in-flight frames (`DropOldest`, counted per queue).
+//!
+//! Shutdown is graceful by construction: the source closes the first queue
+//! after the last job, and each pool's final worker closes its downstream
+//! queue when its input drains — the close ripples to the sink with no frame
+//! abandoned mid-flight.
+//!
+//! Because every job carries its own seed (see [`crate::source`]), outcomes
+//! are bit-identical to the one-shot [`run_isac_frame`] path regardless of
+//! worker count, queue sizing, or scheduling — under `Block`, the streaming
+//! and serial paths are interchangeable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use biscatter_core::downlink::FrameOutcome;
+use biscatter_core::isac::{
+    align_stage, dechirp_stage, detect_stage, doppler_stage, run_isac_frame, synthesize_frame,
+    AlignedPair, IsacOutcome, SynthesizedFrame,
+};
+use biscatter_core::system::BiScatterSystem;
+use biscatter_radar::receiver::doppler::RangeDopplerMap;
+use biscatter_rf::frame::ChirpTrain;
+
+use crate::metrics::{LatencyHistogram, MetricsSnapshot, StageMetrics};
+use crate::queue::{Backpressure, BoundedQueue};
+use crate::source::FrameJob;
+
+/// Worker-thread count for each stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageWorkers {
+    pub synthesize: usize,
+    pub dechirp: usize,
+    pub align: usize,
+    pub doppler: usize,
+    pub detect: usize,
+}
+
+impl StageWorkers {
+    /// The same number of workers on every stage.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "stages need at least one worker");
+        StageWorkers {
+            synthesize: n,
+            dechirp: n,
+            align: n,
+            doppler: n,
+            detect: n,
+        }
+    }
+
+    /// Sizes pools from the machine's parallelism. Frame synthesis dominates
+    /// per-frame cost (the tag-side envelope capture + symbol decisions),
+    /// with align a distant second, so those stages get the extra workers;
+    /// the cheap stages (doppler, detect) stay single-threaded.
+    pub fn auto() -> Self {
+        let cores = thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 8 {
+            StageWorkers {
+                synthesize: 4,
+                dechirp: 2,
+                align: 2,
+                doppler: 1,
+                detect: 1,
+            }
+        } else if cores >= 4 {
+            StageWorkers {
+                synthesize: 2,
+                dechirp: 1,
+                align: 2,
+                doppler: 1,
+                detect: 1,
+            }
+        } else {
+            StageWorkers::uniform(1)
+        }
+    }
+
+    /// Total worker threads across all stages.
+    pub fn total(&self) -> usize {
+        self.synthesize + self.dechirp + self.align + self.doppler + self.detect
+    }
+}
+
+/// Streaming runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Capacity of every inter-stage queue.
+    pub queue_capacity: usize,
+    /// What producers do when a queue is full.
+    pub policy: Backpressure,
+    /// Worker pool sizes.
+    pub workers: StageWorkers,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            queue_capacity: 8,
+            policy: Backpressure::Block,
+            workers: StageWorkers::auto(),
+        }
+    }
+}
+
+/// Everything a streaming run produced.
+pub struct RunReport {
+    /// `(frame id, outcome)` pairs, restored to frame-id order at the sink.
+    pub outcomes: Vec<(u64, IsacOutcome)>,
+    /// Per-stage and end-to-end metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+// Inter-stage envelopes. Each carries the job (for scenario/seed/id), the
+// enqueue timestamp (for end-to-end latency), and exactly the data the next
+// stage needs — intermediate products are dropped at the earliest stage that
+// no longer needs them, which is what keeps queue memory bounded.
+struct EnvJob {
+    job: FrameJob,
+    born: Instant,
+}
+struct EnvSynth {
+    job: FrameJob,
+    born: Instant,
+    synth: SynthesizedFrame,
+}
+struct EnvIf {
+    job: FrameJob,
+    born: Instant,
+    train: ChirpTrain,
+    downlink: FrameOutcome,
+    if_data: Vec<Vec<f64>>,
+}
+struct EnvAligned {
+    job: FrameJob,
+    born: Instant,
+    downlink: FrameOutcome,
+    pair: AlignedPair,
+}
+struct EnvMapped {
+    job: FrameJob,
+    born: Instant,
+    downlink: FrameOutcome,
+    pair: AlignedPair,
+    map: RangeDopplerMap,
+}
+struct EnvDone {
+    id: u64,
+    born: Instant,
+    outcome: IsacOutcome,
+}
+
+/// Spawns `workers` threads that drain `input` through `f` into `output`.
+/// The last worker to observe the drained input closes `output`, propagating
+/// shutdown downstream.
+fn spawn_pool<'s, I, O, F>(
+    scope: &'s thread::Scope<'s, '_>,
+    workers: usize,
+    input: &Arc<BoundedQueue<I>>,
+    output: &Arc<BoundedQueue<O>>,
+    metrics: &Arc<StageMetrics>,
+    f: F,
+) where
+    I: Send + 's,
+    O: Send + 's,
+    F: Fn(I) -> O + Send + Sync + 's,
+{
+    assert!(workers > 0, "stages need at least one worker");
+    let f = Arc::new(f);
+    let alive = Arc::new(AtomicUsize::new(workers));
+    for _ in 0..workers {
+        let input = Arc::clone(input);
+        let output = Arc::clone(output);
+        let metrics = Arc::clone(metrics);
+        let f = Arc::clone(&f);
+        let alive = Arc::clone(&alive);
+        scope.spawn(move || {
+            while let Some(item) = input.pop() {
+                let t0 = Instant::now();
+                let out = f(item);
+                let took = t0.elapsed();
+                if output.push(out) {
+                    metrics.record_frame(took);
+                } else {
+                    metrics.record_swallowed(took);
+                }
+            }
+            if alive.fetch_sub(1, Ordering::AcqRel) == 1 {
+                output.close();
+            }
+        });
+    }
+}
+
+/// Streams `jobs` through the staged pipeline and collects every outcome.
+///
+/// The calling thread acts as the sink; worker threads are scoped, so the
+/// function returns only after every stage has shut down.
+pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeConfig) -> RunReport {
+    let n_jobs = jobs.len();
+    let cap = cfg.queue_capacity;
+    let q_synth = Arc::new(BoundedQueue::<EnvJob>::new(cap, cfg.policy));
+    let q_dechirp = Arc::new(BoundedQueue::<EnvSynth>::new(cap, cfg.policy));
+    let q_align = Arc::new(BoundedQueue::<EnvIf>::new(cap, cfg.policy));
+    let q_doppler = Arc::new(BoundedQueue::<EnvAligned>::new(cap, cfg.policy));
+    let q_detect = Arc::new(BoundedQueue::<EnvMapped>::new(cap, cfg.policy));
+    let q_sink = Arc::new(BoundedQueue::<EnvDone>::new(cap, cfg.policy));
+
+    let m_synth = Arc::new(StageMetrics::new("synthesize"));
+    let m_dechirp = Arc::new(StageMetrics::new("dechirp"));
+    let m_align = Arc::new(StageMetrics::new("align"));
+    let m_doppler = Arc::new(StageMetrics::new("doppler"));
+    let m_detect = Arc::new(StageMetrics::new("detect"));
+    let e2e = LatencyHistogram::default();
+
+    let t0 = Instant::now();
+    let mut outcomes: Vec<(u64, IsacOutcome)> = thread::scope(|scope| {
+        {
+            let q = Arc::clone(&q_synth);
+            scope.spawn(move || {
+                for job in jobs {
+                    let env = EnvJob {
+                        born: Instant::now(),
+                        job,
+                    };
+                    if !q.push(env) {
+                        break;
+                    }
+                }
+                q.close();
+            });
+        }
+
+        spawn_pool(
+            scope,
+            cfg.workers.synthesize,
+            &q_synth,
+            &q_dechirp,
+            &m_synth,
+            |e: EnvJob| {
+                let synth = synthesize_frame(sys, &e.job.scenario, &e.job.payload, e.job.seed);
+                EnvSynth {
+                    job: e.job,
+                    born: e.born,
+                    synth,
+                }
+            },
+        );
+        spawn_pool(
+            scope,
+            cfg.workers.dechirp,
+            &q_dechirp,
+            &q_align,
+            &m_dechirp,
+            |e: EnvSynth| {
+                let if_data = dechirp_stage(sys, &e.synth.train, &e.synth.scene, e.job.seed);
+                EnvIf {
+                    job: e.job,
+                    born: e.born,
+                    train: e.synth.train,
+                    downlink: e.synth.downlink,
+                    if_data,
+                }
+            },
+        );
+        spawn_pool(
+            scope,
+            cfg.workers.align,
+            &q_align,
+            &q_doppler,
+            &m_align,
+            |e: EnvIf| {
+                let pair = align_stage(sys, &e.train, &e.if_data);
+                EnvAligned {
+                    job: e.job,
+                    born: e.born,
+                    downlink: e.downlink,
+                    pair,
+                }
+            },
+        );
+        spawn_pool(
+            scope,
+            cfg.workers.doppler,
+            &q_doppler,
+            &q_detect,
+            &m_doppler,
+            |e: EnvAligned| {
+                let map = doppler_stage(&e.pair);
+                EnvMapped {
+                    job: e.job,
+                    born: e.born,
+                    downlink: e.downlink,
+                    pair: e.pair,
+                    map,
+                }
+            },
+        );
+        spawn_pool(
+            scope,
+            cfg.workers.detect,
+            &q_detect,
+            &q_sink,
+            &m_detect,
+            |e: EnvMapped| {
+                let outcome = detect_stage(&e.job.scenario, &e.pair, &e.map, e.downlink);
+                EnvDone {
+                    id: e.job.id,
+                    born: e.born,
+                    outcome,
+                }
+            },
+        );
+
+        // The caller's thread is the sink: it restores frame-id order after
+        // the unordered worker pools.
+        let mut acc = Vec::with_capacity(n_jobs);
+        while let Some(done) = q_sink.pop() {
+            e2e.record(done.born.elapsed());
+            acc.push((done.id, done.outcome));
+        }
+        acc
+    });
+    let elapsed = t0.elapsed();
+    outcomes.sort_by_key(|&(id, _)| id);
+
+    let stages = vec![
+        m_synth.snapshot(q_synth.high_water(), q_synth.drops()),
+        m_dechirp.snapshot(q_dechirp.high_water(), q_dechirp.drops()),
+        m_align.snapshot(q_align.high_water(), q_align.drops()),
+        m_doppler.snapshot(q_doppler.high_water(), q_doppler.drops()),
+        m_detect.snapshot(q_detect.high_water(), q_detect.drops()),
+    ];
+    let total_drops = stages.iter().map(|s| s.queue_drops).sum::<u64>() + q_sink.drops();
+    let metrics = MetricsSnapshot {
+        stages,
+        end_to_end: e2e.snapshot(),
+        frames_completed: outcomes.len() as u64,
+        total_drops,
+        elapsed,
+    };
+    RunReport { outcomes, metrics }
+}
+
+/// Reference path: the same jobs, one at a time, on the calling thread via
+/// the one-shot [`run_isac_frame`]. Used for parity tests and as the serial
+/// baseline in the throughput benchmark.
+pub fn run_serial(sys: &BiScatterSystem, jobs: &[FrameJob]) -> Vec<(u64, IsacOutcome)> {
+    jobs.iter()
+        .map(|j| (j.id, run_isac_frame(sys, &j.scenario, &j.payload, j.seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_totals() {
+        assert_eq!(StageWorkers::uniform(2).total(), 10);
+        assert!(StageWorkers::auto().total() >= 5);
+    }
+}

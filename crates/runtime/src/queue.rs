@@ -1,0 +1,220 @@
+//! Bounded MPMC queue with selectable backpressure, built on
+//! `std::sync::{Mutex, Condvar}`.
+//!
+//! Every inter-stage edge of the streaming pipeline is one of these. The
+//! queue tracks its own depth high-water mark and drop count, so stage
+//! metrics can report how congested each edge ran.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What a producer does when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Block until a consumer makes room (lossless).
+    Block,
+    /// Evict the oldest queued item to make room (bounded latency, lossy);
+    /// evictions are counted in [`BoundedQueue::drops`].
+    DropOldest,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    high_water: usize,
+    drops: u64,
+}
+
+/// A bounded multi-producer/multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: Backpressure,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    pub fn new(capacity: usize, policy: Backpressure) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                high_water: 0,
+                drops: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            policy,
+        }
+    }
+
+    /// Enqueues `item`. Under [`Backpressure::Block`] this waits for room;
+    /// under [`Backpressure::DropOldest`] it evicts the oldest item instead.
+    /// Returns `false` (dropping `item`) if the queue is closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.items.len() < self.capacity {
+                break;
+            }
+            match self.policy {
+                Backpressure::Block => {
+                    st = self.not_full.wait(st).expect("queue lock");
+                }
+                Backpressure::DropOldest => {
+                    st.items.pop_front();
+                    st.drops += 1;
+                    break;
+                }
+            }
+        }
+        st.items.push_back(item);
+        st.high_water = st.high_water.max(st.items.len());
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the oldest item, waiting while the queue is empty but open.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what remains.
+    pub fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Deepest the queue ever got.
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock").high_water
+    }
+
+    /// Items evicted under [`Backpressure::DropOldest`].
+    pub fn drops(&self) -> u64 {
+        self.state.lock().expect("queue lock").drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(4, Backpressure::Block);
+        for i in 0..4 {
+            assert!(q.push(i));
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_oldest_evicts_and_counts() {
+        let q = BoundedQueue::new(2, Backpressure::DropOldest);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(q.push(3)); // evicts 1
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4, Backpressure::Block);
+        q.push(7);
+        q.close();
+        assert!(!q.push(8), "push after close must fail");
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_producer_unblocks_on_pop() {
+        let q = Arc::new(BoundedQueue::new(1, Backpressure::Block));
+        q.push(0);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1));
+        // Give the producer a moment to block on the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.drops(), 0);
+    }
+
+    #[test]
+    fn blocked_producer_released_by_close() {
+        let q = Arc::new(BoundedQueue::new(1, Backpressure::Block));
+        q.push(0);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(!producer.join().unwrap(), "close must release the producer");
+    }
+
+    #[test]
+    fn mpmc_totals_preserved() {
+        let q = Arc::new(BoundedQueue::new(8, Backpressure::Block));
+        let total: u64 = 500;
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..(total / 4) {
+                        q.push(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while q.pop().is_some() {
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let consumed: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(consumed, total);
+    }
+}

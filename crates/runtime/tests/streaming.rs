@@ -1,0 +1,186 @@
+//! Integration tests for the streaming runtime.
+//!
+//! Uses the reduced-cost `streaming_system()` (32-chirp frames, 256-point
+//! range processing) so multi-hundred-frame streams stay affordable in debug
+//! builds.
+
+use biscatter_runtime::pipeline::{run_serial, run_streaming, RuntimeConfig, StageWorkers};
+use biscatter_runtime::queue::Backpressure;
+use biscatter_runtime::source::{streaming_system, WorkloadSpec};
+
+/// The ISSUE acceptance workload: a seeded 4-radar × 8-tag stream of 200+
+/// frames through bounded queues must lose nothing under blocking
+/// backpressure, and the metrics must account for every frame at every
+/// stage.
+#[test]
+fn blocking_stream_of_200_frames_is_lossless() {
+    let sys = streaming_system();
+    let spec = WorkloadSpec::four_by_eight(200, 42);
+    let cfg = RuntimeConfig {
+        queue_capacity: 4,
+        policy: Backpressure::Block,
+        workers: StageWorkers::auto(),
+    };
+    let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
+
+    assert_eq!(report.outcomes.len(), 200, "no frame may be lost");
+    assert_eq!(report.metrics.frames_completed, 200);
+    assert_eq!(report.metrics.total_drops, 0);
+    // Sink restored frame order.
+    for (i, (id, _)) in report.outcomes.iter().enumerate() {
+        assert_eq!(*id, i as u64);
+    }
+    // Every stage saw every frame exactly once, and bounded queues stayed
+    // bounded.
+    for s in &report.metrics.stages {
+        assert_eq!(s.frames_in, 200, "stage {} frames_in", s.name);
+        assert_eq!(s.frames_out, 200, "stage {} frames_out", s.name);
+        assert!(
+            s.queue_high_water <= cfg.queue_capacity,
+            "stage {} queue exceeded capacity",
+            s.name
+        );
+        assert_eq!(s.latency.count(), 200);
+    }
+    assert_eq!(report.metrics.end_to_end.count(), 200);
+
+    // The pipeline does real ISAC work: most frames decode and localize.
+    let decoded = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| o.downlink.parsed)
+        .count();
+    let located = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| o.location.is_some())
+        .count();
+    assert!(decoded >= 180, "only {decoded}/200 downlinks decoded");
+    assert!(located >= 180, "only {located}/200 tags located");
+}
+
+/// Streamed outcomes must be bit-identical to the one-shot
+/// `core::isac::run_isac_frame` path on the same seeds, independent of
+/// worker counts and queue sizing.
+#[test]
+fn streaming_matches_one_shot_path() {
+    let sys = streaming_system();
+    let spec = WorkloadSpec::four_by_eight(24, 7);
+    let jobs = spec.jobs(&sys);
+    let serial = run_serial(&sys, &jobs);
+
+    for (workers, capacity) in [(StageWorkers::uniform(1), 2), (StageWorkers::uniform(2), 5)] {
+        let cfg = RuntimeConfig {
+            queue_capacity: capacity,
+            policy: Backpressure::Block,
+            workers,
+        };
+        let streamed = run_streaming(&sys, jobs.clone(), &cfg);
+        assert_eq!(streamed.outcomes.len(), serial.len());
+        for ((sid, s), (rid, r)) in streamed.outcomes.iter().zip(&serial) {
+            assert_eq!(sid, rid);
+            assert_eq!(s, r, "frame {sid} diverged from the one-shot path");
+        }
+    }
+}
+
+/// Same spec + same seed streamed twice must give identical outcomes
+/// (scheduling-independent determinism).
+#[test]
+fn streaming_is_deterministic_across_runs() {
+    let sys = streaming_system();
+    let spec = WorkloadSpec::four_by_eight(16, 99);
+    let cfg = RuntimeConfig::default();
+    let a = run_streaming(&sys, spec.jobs(&sys), &cfg);
+    let b = run_streaming(&sys, spec.jobs(&sys), &cfg);
+    assert_eq!(a.outcomes, b.outcomes);
+}
+
+/// Drop-oldest backpressure on an overloaded queue sheds frames and counts
+/// every shed frame; blocking never sheds.
+#[test]
+fn drop_oldest_sheds_and_accounts() {
+    let sys = streaming_system();
+    let spec = WorkloadSpec::four_by_eight(30, 5);
+    let cfg = RuntimeConfig {
+        queue_capacity: 1,
+        policy: Backpressure::DropOldest,
+        workers: StageWorkers::uniform(1),
+    };
+    let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
+    // Conservation: completed + dropped = offered. (The source never blocks
+    // under drop-oldest, so all 30 jobs enter the first queue.)
+    assert_eq!(
+        report.metrics.frames_completed + report.metrics.total_drops,
+        30,
+        "dropped frames must be accounted for"
+    );
+    // Results that did come through are still frame-id ordered.
+    let ids: Vec<u64> = report.outcomes.iter().map(|(id, _)| *id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted);
+}
+
+/// On a machine with real parallelism the pipeline must beat the serial
+/// path by >=2x frames/sec. Gated on core count: a single-core runner can
+/// only measure thread overhead, not pipelining.
+#[test]
+fn pipelined_beats_serial_on_multicore() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        eprintln!("skipping speedup assertion: only {cores} core(s) available");
+        return;
+    }
+    let sys = streaming_system();
+    let jobs = WorkloadSpec::four_by_eight(48, 42).jobs(&sys);
+
+    let t0 = std::time::Instant::now();
+    let serial = run_serial(&sys, &jobs);
+    let serial_elapsed = t0.elapsed();
+
+    let cfg = RuntimeConfig {
+        queue_capacity: 8,
+        policy: Backpressure::Block,
+        workers: StageWorkers::auto(),
+    };
+    let t1 = std::time::Instant::now();
+    let streamed = run_streaming(&sys, jobs, &cfg);
+    let streamed_elapsed = t1.elapsed();
+
+    assert_eq!(streamed.outcomes.len(), serial.len());
+    let speedup = serial_elapsed.as_secs_f64() / streamed_elapsed.as_secs_f64();
+    assert!(
+        speedup >= 2.0,
+        "pipelined path only {speedup:.2}x faster on {cores} cores \
+         (serial {serial_elapsed:?}, pipelined {streamed_elapsed:?})"
+    );
+}
+
+/// Metrics snapshots export to text and parseable JSON.
+#[test]
+fn metrics_snapshot_exports() {
+    let sys = streaming_system();
+    let report = run_streaming(
+        &sys,
+        WorkloadSpec::four_by_eight(8, 3).jobs(&sys),
+        &RuntimeConfig::default(),
+    );
+    let text = report.metrics.to_text();
+    for stage in ["synthesize", "dechirp", "align", "doppler", "detect"] {
+        assert!(text.contains(stage), "text snapshot missing {stage}");
+    }
+    let json = report.metrics.to_json().to_pretty();
+    let parsed = biscatter_core::json::parse(&json).expect("snapshot JSON parses");
+    assert_eq!(
+        parsed
+            .get("frames_completed")
+            .and_then(biscatter_core::json::Value::as_f64),
+        Some(8.0)
+    );
+    let stages = parsed
+        .get("stages")
+        .and_then(biscatter_core::json::Value::as_array)
+        .expect("stages array");
+    assert_eq!(stages.len(), 5);
+}

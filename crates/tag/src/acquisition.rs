@@ -22,12 +22,7 @@ use biscatter_dsp::spectrum::find_peaks_above;
 /// autocorrelation of instantaneous power. Searches lags in
 /// `[t_min_s, t_max_s]`. Returns `None` when the signal is too short
 /// (needs ≥ 2 periods at the maximum lag) or has no periodicity.
-pub fn estimate_period(
-    samples: &[f64],
-    fs: f64,
-    t_min_s: f64,
-    t_max_s: f64,
-) -> Option<f64> {
+pub fn estimate_period(samples: &[f64], fs: f64, t_min_s: f64, t_max_s: f64) -> Option<f64> {
     let lag_min = (t_min_s * fs).round() as usize;
     let lag_max = (t_max_s * fs).round() as usize;
     if lag_min < 2 || lag_max <= lag_min || samples.len() < 2 * lag_max {
@@ -214,8 +209,8 @@ pub fn estimate_slot_timing(
                 if boundary < w || boundary + w > power.len() {
                     continue;
                 }
-                contrast += window_power(boundary, boundary + w)
-                    - window_power(boundary - w, boundary);
+                contrast +=
+                    window_power(boundary, boundary + w) - window_power(boundary - w, boundary);
                 count += 1;
             }
             if count > 0 {
@@ -240,11 +235,7 @@ pub fn estimate_slot_timing(
 ///
 /// Returns `(period_samples, offset_samples)` or `None` if fewer than two
 /// clean edges are found.
-pub fn refine_slot_timing(
-    samples: &[f64],
-    coarse_period: usize,
-    fs: f64,
-) -> Option<(f64, usize)> {
+pub fn refine_slot_timing(samples: &[f64], coarse_period: usize, fs: f64) -> Option<(f64, usize)> {
     if coarse_period < 8 || samples.len() < 2 * coarse_period {
         return None;
     }
@@ -277,9 +268,7 @@ pub fn refine_slot_timing(
     let mut diffs: Vec<f64> = edges
         .windows(2)
         .map(|w| (w[1] - w[0]) as f64)
-        .filter(|&d| {
-            d > 0.75 * coarse_period as f64 && d < 1.25 * coarse_period as f64
-        })
+        .filter(|&d| d > 0.75 * coarse_period as f64 && d < 1.25 * coarse_period as f64)
         .collect();
     if diffs.is_empty() {
         return None;
@@ -350,10 +339,7 @@ mod tests {
     fn period_estimated_from_header() {
         let (samples, fs) = header_stream(16, 25.0, 0.0, 1);
         let t = estimate_period(&samples, fs, 60e-6, 300e-6).expect("period found");
-        assert!(
-            (t - 120e-6).abs() < 2e-6,
-            "period {t}, expected 120 µs"
-        );
+        assert!((t - 120e-6).abs() < 2e-6, "period {t}, expected 120 µs");
     }
 
     #[test]

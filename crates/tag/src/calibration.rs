@@ -11,10 +11,10 @@
 //! this repository.
 
 use crate::demod::{Candidate, SymbolDecider};
+use biscatter_dsp::signal::NoiseSource;
 use biscatter_dsp::spectrum::{find_peak, periodogram};
 use biscatter_dsp::window::WindowKind;
 use biscatter_link::packet::DownlinkSymbol;
-use biscatter_dsp::signal::NoiseSource;
 use biscatter_radar::cssk::CsskAlphabet;
 use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::tag_frontend::TagFrontEnd;
@@ -90,8 +90,10 @@ impl CalibrationTable {
                     if start + n_window > samples.len() {
                         break;
                     }
-                    total += scorer
-                        .candidate_score(&samples[start..start + period_samples.min(samples.len() - start)], &probe);
+                    total += scorer.candidate_score(
+                        &samples[start..start + period_samples.min(samples.len() - start)],
+                        &probe,
+                    );
                 }
                 if total > best.1 {
                     best = (f, total);
@@ -166,7 +168,12 @@ mod tests {
         for c in &table.candidates {
             let truth = fe.beat_freq(&a.chirp_for(c.symbol));
             let rel = (c.beat_freq_hz - truth).abs() / truth;
-            assert!(rel < 0.05, "{:?}: measured {} vs true {truth}", c.symbol, c.beat_freq_hz);
+            assert!(
+                rel < 0.05,
+                "{:?}: measured {} vs true {truth}",
+                c.symbol,
+                c.beat_freq_hz
+            );
         }
     }
 

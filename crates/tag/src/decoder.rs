@@ -105,8 +105,7 @@ impl DownlinkDecoder {
                 let Some(offset) = offset0.checked_add_signed(doff as isize) else {
                     continue;
                 };
-                let (symbols, score) =
-                    self.decider.decide_stream_scored(samples, period, offset);
+                let (symbols, score) = self.decider.decide_stream_scored(samples, period, offset);
                 if score > best.2 {
                     best = (period, offset, score, symbols);
                 }

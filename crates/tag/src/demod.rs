@@ -105,11 +105,7 @@ impl SymbolDecider {
 
     /// Decodes a run of consecutive slots (each `period_samples` long) from a
     /// slot-aligned stream.
-    pub fn decide_stream(
-        &self,
-        samples: &[f64],
-        period_samples: usize,
-    ) -> Vec<DownlinkSymbol> {
+    pub fn decide_stream(&self, samples: &[f64], period_samples: usize) -> Vec<DownlinkSymbol> {
         if period_samples == 0 {
             return Vec::new();
         }
@@ -270,15 +266,10 @@ mod tests {
     #[test]
     fn survives_moderate_noise() {
         let (alphabet, fe, decider) = setup(5);
-        let symbols: Vec<DownlinkSymbol> =
-            (0..32).map(|i| DownlinkSymbol::Data(i % 32)).collect();
+        let symbols: Vec<DownlinkSymbol> = (0..32).map(|i| DownlinkSymbol::Data(i % 32)).collect();
         let stream = capture_symbols(&alphabet, &fe, &symbols, 18.0, 3);
         let decided = decider.decide_stream(&stream, 120);
-        let errors = decided
-            .iter()
-            .zip(&symbols)
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors = decided.iter().zip(&symbols).filter(|(a, b)| a != b).count();
         assert!(errors <= 1, "{errors} symbol errors at 18 dB");
     }
 
@@ -287,8 +278,7 @@ mod tests {
         // At low SNR, when a symbol errs it should usually err to a
         // neighbouring slope (the premise of Gray coding).
         let (alphabet, fe, decider) = setup(6);
-        let symbols: Vec<DownlinkSymbol> =
-            (0..64).map(|i| DownlinkSymbol::Data(i % 64)).collect();
+        let symbols: Vec<DownlinkSymbol> = (0..64).map(|i| DownlinkSymbol::Data(i % 64)).collect();
         let stream = capture_symbols(&alphabet, &fe, &symbols, 6.0, 4);
         let decided = decider.decide_stream(&stream, 120);
         let mut errors = 0;

@@ -67,7 +67,10 @@ impl std::fmt::Display for ModulatorError {
             ModulatorError::SwitchTooSlow {
                 requested_hz,
                 limit_hz,
-            } => write!(f, "subcarrier {requested_hz} Hz exceeds switch limit {limit_hz} Hz"),
+            } => write!(
+                f,
+                "subcarrier {requested_hz} Hz exceeds switch limit {limit_hz} Hz"
+            ),
             ModulatorError::BitTooShort => write!(f, "bit shorter than one subcarrier cycle"),
             ModulatorError::NonPositive => write!(f, "frequencies and durations must be positive"),
         }

@@ -170,8 +170,7 @@ mod tests {
         let fe = TagFrontEnd::coax_prototype(inches_to_m(45.0), 9.5e9);
         let decider =
             SymbolDecider::from_alphabet(&alphabet, fe.pair.delta_t(), fe.adc.sample_rate_hz);
-        let modulator =
-            Modulator::new(ModulatorConfig::default(), RfSwitch::adrf5144()).unwrap();
+        let modulator = Modulator::new(ModulatorConfig::default(), RfSwitch::adrf5144()).unwrap();
         Tag::new(TagId(id), DownlinkDecoder::new(decider), modulator)
     }
 
@@ -248,10 +247,8 @@ mod tests {
     fn retransmit_repeats_last_frame() {
         let mut tag = make_tag(3);
         tag.data_register = vec![0xCA, 0xFE];
-        let first = tag.handle_command(addressed(
-            TagAddress::Unicast(TagId(3)),
-            Command::QueryData,
-        ));
+        let first =
+            tag.handle_command(addressed(TagAddress::Unicast(TagId(3)), Command::QueryData));
         let TagAction::Respond(_, frame1) = first else {
             panic!("expected response");
         };
@@ -291,9 +288,9 @@ mod tests {
     fn full_phy_command_roundtrip() {
         // Radar encodes a command into a packet, tag decodes off the air and
         // executes it.
+        use biscatter_dsp::signal::NoiseSource;
         use biscatter_link::packet::DownlinkPacket;
         use biscatter_radar::sequencer::packet_to_train;
-        use biscatter_dsp::signal::NoiseSource;
 
         let mut tag = make_tag(9);
         let alphabet = CsskAlphabet::new(9e9, 1e9, 5, 20e-6, 120e-6).unwrap();

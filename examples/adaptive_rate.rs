@@ -19,22 +19,20 @@ const PROBE_FRAMES: usize = 40;
 
 fn main() {
     println!("Adaptive CSSK rate control (target BER {BER_TARGET:.0e})\n");
-    println!("{:>8}  {:>8}  {:>10}  {:>10}  {:>9}", "range_m", "snr_dB", "bits/sym", "kbps", "BER");
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>10}  {:>9}",
+        "range_m", "snr_dB", "bits/sym", "kbps", "BER"
+    );
 
     let mut bits = 7usize; // start optimistic
     for step in 0..14 {
         let d = 1.0 + step as f64 * 0.5;
         // Re-probe, stepping down until the target holds (never below 1).
         let (sys, ber) = loop {
-            let sys = BiScatterSystem::new(
-                RadarConfig::lmx2492_9ghz(),
-                inches_to_m(45.0),
-                bits,
-            )
-            .expect("valid symbol width");
+            let sys = BiScatterSystem::new(RadarConfig::lmx2492_9ghz(), inches_to_m(45.0), bits)
+                .expect("valid symbol width");
             let snr = sys.downlink_snr_at(d);
-            let ber = measure_ber_symbols(&sys, snr, PROBE_FRAMES, 24, 4242 + step as u64)
-                .ber();
+            let ber = measure_ber_symbols(&sys, snr, PROBE_FRAMES, 24, 4242 + step as u64).ber();
             if ber <= BER_TARGET || bits == 1 {
                 break (sys, ber);
             }

@@ -28,7 +28,10 @@ fn main() {
     sys.front_end.pair.short.dispersion_per_ghz = -0.004;
     sys.front_end.pair.long.dispersion_per_ghz = -0.004;
 
-    println!("Step 1 — calibrate at 0.5 m ({} dB SNR):\n", sys.downlink_snr_at(0.5) as i32);
+    println!(
+        "Step 1 — calibrate at 0.5 m ({} dB SNR):\n",
+        sys.downlink_snr_at(0.5) as i32
+    );
     let table = CalibrationTable::measure(
         &sys.alphabet,
         &sys.front_end,
@@ -38,7 +41,10 @@ fn main() {
         2024,
     );
 
-    println!("{:>10}  {:>12}  {:>12}  {:>8}", "symbol", "eq11_kHz", "measured_kHz", "shift");
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>8}",
+        "symbol", "eq11_kHz", "measured_kHz", "shift"
+    );
     let nominal_dt =
         biscatter_core::rf::inches_to_m(45.0) / (0.7 * biscatter_core::dsp::SPEED_OF_LIGHT);
     for c in table.candidates.iter().step_by(6) {

@@ -19,7 +19,11 @@ fn main() {
     let tag_range = 2.5;
     let mod_freq = 16.0 / (sys.frame_chirps as f64 * sys.radar.t_period);
     let frame_time = sys.frame_chirps as f64 * sys.radar.t_period;
-    println!("ISAC transparency demo — {} frames of {:.1} ms each\n", 12, frame_time * 1e3);
+    println!(
+        "ISAC transparency demo — {} frames of {:.1} ms each\n",
+        12,
+        frame_time * 1e3
+    );
     println!(
         "{:>6}  {:>9}  {:>9}  {:>10}  {:>9}",
         "frame", "walker_m", "track_m", "tag_err_cm", "downlink"

@@ -11,29 +11,39 @@
 use biscatter_core::isac::{run_isac_frame, IsacScenario};
 use biscatter_core::link::commands::{AddressedCommand, Command};
 use biscatter_core::link::mac::{TagAddress, TagId};
+use biscatter_core::rf::components::rf_switch::RfSwitch;
 use biscatter_core::system::BiScatterSystem;
-use biscatter_core::tag::demod::SymbolDecider;
 use biscatter_core::tag::decoder::DownlinkDecoder;
+use biscatter_core::tag::demod::SymbolDecider;
 use biscatter_core::tag::modulator::{Modulator, ModulatorConfig};
 use biscatter_core::tag::tag::{Tag, TagAction};
-use biscatter_core::rf::components::rf_switch::RfSwitch;
 
 fn main() {
     // The paper's 9 GHz setup: 1 GHz bandwidth, 45-inch delay-line
     // difference, 5-bit CSSK symbols.
     let sys = BiScatterSystem::paper_9ghz();
     println!("BiScatter quickstart");
-    println!("  radar: {} (B = {:.0} MHz, T_period = {:.0} µs)",
-        sys.radar.name, sys.radar.bandwidth / 1e6, sys.radar.t_period * 1e6);
-    println!("  alphabet: {} slopes carrying {} bits/symbol ({:.1} kbps)",
-        sys.alphabet.n_slopes(), sys.alphabet.bits_per_symbol,
-        sys.alphabet.data_rate_bps(sys.radar.t_period) / 1e3);
+    println!(
+        "  radar: {} (B = {:.0} MHz, T_period = {:.0} µs)",
+        sys.radar.name,
+        sys.radar.bandwidth / 1e6,
+        sys.radar.t_period * 1e6
+    );
+    println!(
+        "  alphabet: {} slopes carrying {} bits/symbol ({:.1} kbps)",
+        sys.alphabet.n_slopes(),
+        sys.alphabet.bits_per_symbol,
+        sys.alphabet.data_rate_bps(sys.radar.t_period) / 1e3
+    );
 
     // A tag 4.2 m away, modulating at ~1 kHz.
     let tag_range = 4.2;
     let mod_freq = 16.0 / (128.0 * sys.radar.t_period);
     println!("  tag: {} m away, subcarrier {:.0} Hz", tag_range, mod_freq);
-    println!("  downlink SNR at that range: {:.1} dB", sys.downlink_snr_at(tag_range));
+    println!(
+        "  downlink SNR at that range: {:.1} dB",
+        sys.downlink_snr_at(tag_range)
+    );
 
     // The radar wants to retune the tag's subcarrier to 2.5 kHz.
     let command = AddressedCommand {
@@ -57,12 +67,15 @@ fn main() {
         )),
         Modulator::new(ModulatorConfig::default(), RfSwitch::adrf5144()).unwrap(),
     );
-    let received = AddressedCommand::decode(&outcome.downlink.received)
-        .expect("tag parses the command");
+    let received =
+        AddressedCommand::decode(&outcome.downlink.received).expect("tag parses the command");
     match tag.handle_command(received) {
         TagAction::Executed(cmd) => {
             println!("[tag] executed {:?}", cmd);
-            println!("[tag] new subcarrier: {:.0} Hz", tag.modulator.config.subcarrier_hz);
+            println!(
+                "[tag] new subcarrier: {:.0} Hz",
+                tag.modulator.config.subcarrier_hz
+            );
         }
         other => println!("[tag] action: {:?}", other),
     }
@@ -71,7 +84,10 @@ fn main() {
     match outcome.location {
         Some(loc) => println!(
             "\n[radar] tag localized at {:.3} m (truth {:.3} m, error {:.1} cm, {:.1} dB)",
-            loc.range_m, tag_range, (loc.range_m - tag_range).abs() * 100.0, loc.snr_db
+            loc.range_m,
+            tag_range,
+            (loc.range_m - tag_range).abs() * 100.0,
+            loc.snr_db
         ),
         None => println!("\n[radar] tag not found"),
     }

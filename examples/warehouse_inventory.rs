@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example warehouse_inventory`
 
 use biscatter_core::dsp::signal::NoiseSource;
-use biscatter_core::link::coding::{decode_bytes, encode_bytes};
 use biscatter_core::isac::{run_isac_frame, ClutterSpec, IsacScenario};
+use biscatter_core::link::coding::{decode_bytes, encode_bytes};
 use biscatter_core::link::mac::{ModFreqPlanner, TagId};
 use biscatter_core::radar::receiver::uplink::UplinkScheme;
 use biscatter_core::system::BiScatterSystem;
@@ -33,9 +33,27 @@ fn main() {
     println!("Warehouse inventory over BiScatter ({})\n", sys.radar.name);
 
     let assets = [
-        Asset { id: TagId(1), range_m: 2.3, azimuth_deg: -20.0, label: "pallet A-12", record: vec![0xA1, 0x2C] },
-        Asset { id: TagId(2), range_m: 4.8, azimuth_deg: 12.0, label: "crate B-07", record: vec![0xB0, 0x73] },
-        Asset { id: TagId(3), range_m: 5.8, azimuth_deg: 28.0, label: "drum C-03", record: vec![0xC0, 0x35] },
+        Asset {
+            id: TagId(1),
+            range_m: 2.3,
+            azimuth_deg: -20.0,
+            label: "pallet A-12",
+            record: vec![0xA1, 0x2C],
+        },
+        Asset {
+            id: TagId(2),
+            range_m: 4.8,
+            azimuth_deg: 12.0,
+            label: "crate B-07",
+            record: vec![0xB0, 0x73],
+        },
+        Asset {
+            id: TagId(3),
+            range_m: 5.8,
+            azimuth_deg: 28.0,
+            label: "drum C-03",
+            record: vec![0xC0, 0x35],
+        },
     ];
 
     // Step 1: the drone's MAC layer assigns non-colliding subcarriers.
@@ -44,7 +62,10 @@ fn main() {
     // every subcarrier with several cycles per uplink bit.
     let mut planner = ModFreqPlanner::new(sys.frame_chirps, sys.radar.t_period, 64);
     planner.f_min_hz = 1000.0;
-    println!("subcarrier plan (Doppler-bin spaced, {} tag capacity):", planner.capacity());
+    println!(
+        "subcarrier plan (Doppler-bin spaced, {} tag capacity):",
+        planner.capacity()
+    );
     let freqs: Vec<f64> = assets
         .iter()
         .map(|a| {
@@ -56,9 +77,18 @@ fn main() {
 
     // The shared aisle clutter (racking, floor bounce, far wall).
     let clutter = vec![
-        ClutterSpec { range_m: 1.1, relative_amp: 10.0 },
-        ClutterSpec { range_m: 3.6, relative_amp: 7.0 },
-        ClutterSpec { range_m: 9.2, relative_amp: 14.0 },
+        ClutterSpec {
+            range_m: 1.1,
+            relative_amp: 10.0,
+        },
+        ClutterSpec {
+            range_m: 3.6,
+            relative_amp: 7.0,
+        },
+        ClutterSpec {
+            range_m: 9.2,
+            relative_amp: 14.0,
+        },
     ];
 
     // Step 2+3: one polling frame per tag — downlink QueryData, localize,
@@ -82,21 +112,20 @@ fn main() {
 
         // 2D fix from the drone's 2-element RX array (extension module).
         let aoa = {
-            use biscatter_core::radar::receiver::aoa::locate_tag_2d;
             use biscatter_core::radar::receiver::align_frame;
+            use biscatter_core::radar::receiver::aoa::locate_tag_2d;
             use biscatter_core::rf::chirp::Chirp;
             use biscatter_core::rf::frame::ChirpTrain;
             use biscatter_core::rf::if_gen::IfReceiver;
             use biscatter_core::rf::scene::{Scatterer, Scene};
             let az = asset.azimuth_deg.to_radians();
-            let mut scene2 = Scene::new()
-                .with(Scatterer::tag(asset.range_m, 0.5, f_mod).at_azimuth(az));
+            let mut scene2 =
+                Scene::new().with(Scatterer::tag(asset.range_m, 0.5, f_mod).at_azimuth(az));
             for c in &clutter {
                 scene2 = scene2.with(Scatterer::clutter(c.range_m, c.relative_amp * 0.5));
             }
             let chirps = vec![Chirp::new(sys.radar.f0, sys.radar.bandwidth, 96e-6); 128];
-            let train =
-                ChirpTrain::with_fixed_period(&chirps, sys.radar.t_period).unwrap();
+            let train = ChirpTrain::with_fixed_period(&chirps, sys.radar.t_period).unwrap();
             let rx2 = IfReceiver {
                 sample_rate_hz: sys.rx.if_sample_rate,
                 noise_sigma: 0.02,
@@ -135,7 +164,10 @@ fn main() {
                 let xy = aoa
                     .map(|p| {
                         let (x, y) = p.cartesian();
-                        format!("({x:5.2}, {y:4.2}) m @ {:+5.1}°", p.azimuth_rad.to_degrees())
+                        format!(
+                            "({x:5.2}, {y:4.2}) m @ {:+5.1}°",
+                            p.azimuth_rad.to_degrees()
+                        )
                     })
                     .unwrap_or_else(|| "no 2D fix".to_string());
                 println!(

@@ -3,9 +3,9 @@
 //! and retransmissions push the exchange through — the paper's
 //! "on-demand retransmissions in case of packet loss" motivation, live.
 
+use biscatter_core::downlink::run_frame_synced;
 use biscatter_core::dsp::signal::NoiseSource;
 use biscatter_core::link::arq::{ArqInitiator, ArqResponder, InitiatorAction};
-use biscatter_core::downlink::run_frame_synced;
 use biscatter_core::system::BiScatterSystem;
 
 /// Sends `wire` through the CSSK downlink at `snr_db`; returns whatever
@@ -70,8 +70,7 @@ fn arq_completes_over_borderline_link() {
                         })
                     });
                     // Uplink back with bit errors.
-                    let received =
-                        response.map(|r| uplink_phy(&r, uplink_ber, &mut noise));
+                    let received = response.map(|r| uplink_phy(&r, uplink_ber, &mut noise));
                     action = radar.on_response(received.as_deref());
                 }
                 InitiatorAction::Done(payload) => break Some(payload),

@@ -42,7 +42,10 @@ fn punctured_chirp_is_contained() {
         .sum();
     // One lost 5-bit symbol can damage at most 5 bits (plus framing slack).
     assert!(bit_errors <= 8, "{bit_errors} bit errors from one puncture");
-    assert!(bit_errors >= 1, "the punctured symbol cannot decode correctly");
+    assert!(
+        bit_errors >= 1,
+        "the punctured symbol cannot decode correctly"
+    );
 }
 
 /// A strong in-band CW interferer (another kHz tone at the envelope output)
@@ -66,10 +69,7 @@ fn cw_interferer_tolerated() {
         .zip(&received)
         .map(|(a, b)| (a ^ b).count_ones())
         .sum();
-    assert!(
-        bit_errors <= 6,
-        "interferer caused {bit_errors} bit errors"
-    );
+    assert!(bit_errors <= 6, "interferer caused {bit_errors} bit errors");
 }
 
 /// ADC saturation (input overdriven 2x and clipped at the rail) distorts
@@ -143,9 +143,9 @@ fn hopeless_snr_fails_cleanly() {
     for seed in 0..8 {
         let samples = capture(&sys, payload, -20.0, 100 + seed);
         match decoder(&sys).decode(&samples, Some(payload.len())) {
-            Err(_) => {}                       // refused: fine
+            Err(_) => {} // refused: fine
             Ok(result) => match result.payload {
-                Err(_) => {}                   // no sync: fine
+                Err(_) => {} // no sync: fine
                 Ok(bytes) => {
                     // Decoded *something*; it must not silently equal the
                     // payload every time at -20 dB. (One lucky frame out of
@@ -179,8 +179,7 @@ fn large_clock_offset_recovered() {
     let sys = BiScatterSystem::paper_9ghz();
     let mut packet = DownlinkPacket::new(b"DRIFT".to_vec());
     packet.header_len = 12;
-    let (mut train, _) =
-        packet_to_train(&packet, &sys.alphabet, sys.radar.t_period).unwrap();
+    let (mut train, _) = packet_to_train(&packet, &sys.alphabet, sys.radar.t_period).unwrap();
     // Keep the radar chirping so the shifted capture still covers the packet.
     let pad = *train.slots().first().unwrap();
     train.push(pad);

@@ -1,14 +1,14 @@
 //! Multi-tag scenarios: several tags share one radar frame, separated by
 //! their assigned modulation frequencies (paper §6 extension).
 
+use biscatter_core::dsp::signal::NoiseSource;
 use biscatter_core::link::mac::{ModFreqPlanner, TagId};
+use biscatter_core::radar::receiver::align_frame;
 use biscatter_core::radar::receiver::doppler::range_doppler;
 use biscatter_core::radar::receiver::localize::locate_tag;
-use biscatter_core::radar::receiver::align_frame;
 use biscatter_core::rf::frame::ChirpTrain;
 use biscatter_core::rf::if_gen::IfReceiver;
 use biscatter_core::rf::scene::{Scatterer, Scene};
-use biscatter_core::dsp::signal::NoiseSource;
 use biscatter_core::system::BiScatterSystem;
 
 /// Builds a shared frame with tags at the given `(range, mod_freq)` pairs
@@ -49,8 +49,8 @@ fn three_tags_separated_in_one_frame() {
 
     let map = shared_frame(&sys, &deployments, 11);
     for &(r, f) in &deployments {
-        let loc = locate_tag(&map, f, 10.0)
-            .unwrap_or_else(|| panic!("tag at {r} m / {f} Hz not found"));
+        let loc =
+            locate_tag(&map, f, 10.0).unwrap_or_else(|| panic!("tag at {r} m / {f} Hz not found"));
         assert!(
             (loc.range_m - r).abs() < 0.12,
             "tag at {r}: located {}",

@@ -1,0 +1,29 @@
+//! Seeded-determinism guarantees for the multi-radar coexistence simulator.
+//!
+//! `simulate_aloha` is the randomized heart of the coexistence experiments
+//! (slot choices, start phases, noise); reproducible figures require that it
+//! be a pure function of its seed.
+
+use biscatter_core::multiradar::{goodput, simulate_aloha};
+use biscatter_core::system::BiScatterSystem;
+
+#[test]
+fn identical_seeds_give_identical_round_sequences() {
+    let sys = BiScatterSystem::paper_9ghz();
+    let a = simulate_aloha(&sys, 3, 4, 6, 5, 18.0, 0xC0FFEE);
+    let b = simulate_aloha(&sys, 3, 4, 6, 5, 18.0, 0xC0FFEE);
+    assert_eq!(a, b, "same seed must reproduce the full round sequence");
+    // And the derived metric agrees exactly.
+    assert_eq!(goodput(&a), goodput(&b));
+}
+
+#[test]
+fn different_seeds_give_different_sequences() {
+    let sys = BiScatterSystem::paper_9ghz();
+    // Moderate SNR so noise-driven symbol errors are visible, plus random
+    // slot choices: two seeds agreeing on everything would be astronomically
+    // unlikely.
+    let a = simulate_aloha(&sys, 3, 4, 6, 5, 10.0, 1);
+    let b = simulate_aloha(&sys, 3, 4, 6, 5, 10.0, 2);
+    assert_ne!(a, b, "different seeds must explore different randomness");
+}

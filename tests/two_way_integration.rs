@@ -158,7 +158,10 @@ fn calibrated_tag_end_to_end() {
         .zip(&outcome.received)
         .map(|(a, b)| (a ^ b).count_ones())
         .sum();
-    assert!(bit_errors <= 3, "calibrated link had {bit_errors} bit errors");
+    assert!(
+        bit_errors <= 3,
+        "calibrated link had {bit_errors} bit errors"
+    );
 
     // Control: with the *nominal* (uncalibrated) decider the same detuned
     // tag is far worse.
