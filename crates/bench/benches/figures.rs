@@ -5,10 +5,19 @@
 //! Criterion micro-benchmarks.
 //!
 //! Select a subset with `cargo bench --bench figures -- fig13 fig15`.
+//! `--quick` lists the registered specs without regenerating them (the CI
+//! smoke mode — full regeneration takes minutes).
 
 use biscatter_bench::all_specs;
 
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--quick") {
+        for spec in all_specs() {
+            println!("{}", spec.name);
+        }
+        println!("--quick: listed specs only, nothing regenerated");
+        return;
+    }
     let filters: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| !a.starts_with('-'))

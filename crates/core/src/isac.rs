@@ -131,7 +131,27 @@ pub struct IsacOutcome {
 // worker pool. `run_isac_frame` below is exactly their composition, so the
 // one-shot and streaming paths produce bit-identical results for the same
 // seed.
+//
+// The FFT-heavy stages (align, doppler, and the tag-side decode inside
+// synthesize) reach their transforms through `biscatter_dsp::planner`'s
+// thread-local plan cache, so each worker thread in a pool builds its plans
+// once and reuses them for every subsequent frame with no cross-thread
+// locking. `warm_dsp_plans` lets a worker pay that one-time cost at spawn
+// instead of on its first frame.
 // ---------------------------------------------------------------------------
+
+/// Pre-builds this thread's FFT plans for the transform lengths a frame
+/// from `sys` will need: the range FFT's packed real-input plan and the
+/// slow-time (Doppler) plan. Calling it from a worker thread at startup
+/// moves plan construction out of first-frame latency; it is idempotent and
+/// cheap when the plans already exist.
+pub fn warm_dsp_plans(sys: &BiScatterSystem) {
+    biscatter_dsp::planner::with_planner(|p| {
+        let n_fft = biscatter_dsp::fft::next_pow2(sys.rx.n_fft.max(2));
+        let _ = p.rfft_plan(n_fft);
+        let _ = p.plan(biscatter_dsp::fft::next_pow2(sys.frame_chirps.max(1)));
+    });
+}
 
 /// Stage 1 output: the on-air frame, the tag-side downlink result, and the
 /// radar-side scene it will reflect from.
@@ -297,16 +317,18 @@ pub fn detect_stage(
 
     let sensing_frame = &pair.sensing;
     let n = sensing_frame.n_chirps() as f64;
-    let mean_power: Vec<f64> = (0..sensing_frame.range_grid.len())
-        .map(|r| {
-            sensing_frame
-                .profiles
-                .iter()
-                .map(|p| p[r].norm_sq())
-                .sum::<f64>()
-                / n
-        })
-        .collect();
+    // Accumulate profiles-outer so each pass walks one contiguous profile
+    // row, instead of striding `p[r]` across every profile per range bin
+    // (cache-hostile column-major access for frames with many chirps).
+    let mut mean_power = vec![0.0f64; sensing_frame.range_grid.len()];
+    for p in &sensing_frame.profiles {
+        for (acc, z) in mean_power.iter_mut().zip(p) {
+            *acc += z.norm_sq();
+        }
+    }
+    for acc in mean_power.iter_mut() {
+        *acc /= n;
+    }
     let detections = CfarDetector::default().detect(&mean_power, &sensing_frame.range_grid);
 
     IsacOutcome {

@@ -7,6 +7,10 @@
 //! plain-text report. No statistical analysis, plots, or baselines: the goal
 //! is that `cargo bench` runs in network-restricted environments where the
 //! real crate cannot be downloaded.
+//!
+//! Passing `--quick` (`cargo bench -- --quick`) runs every selected
+//! benchmark for a single sample of a single iteration — a smoke mode for
+//! CI that exercises each bench body without the measurement loop.
 
 #![forbid(unsafe_code)]
 
@@ -15,26 +19,36 @@ use std::time::{Duration, Instant};
 /// Benchmark driver; also carries CLI filters (`cargo bench -- <filter>`).
 pub struct Criterion {
     filters: Vec<String>,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        let quick = std::env::args().skip(1).any(|a| a == "--quick");
         let filters = std::env::args()
             .skip(1)
             .filter(|a| !a.starts_with('-'))
             .collect();
-        Criterion { filters }
+        Criterion { filters, quick }
     }
 }
 
 impl Criterion {
+    /// True when `--quick` was passed: one sample, one iteration per
+    /// benchmark. CI smoke runs use this to exercise every bench body
+    /// without paying measurement-loop time.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.to_string(),
-            sample_size: 20,
+            sample_size: if self.quick { 1 } else { 20 },
             throughput: None,
             filters: &self.filters,
+            quick: self.quick,
         }
     }
 
@@ -69,12 +83,14 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     throughput: Option<Throughput>,
     filters: &'a [String],
+    quick: bool,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (`--quick` pins it
+    /// to a single sample regardless).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(3);
+        self.sample_size = if self.quick { 1 } else { n.max(3) };
         self
     }
 
@@ -94,11 +110,14 @@ impl BenchmarkGroup<'_> {
             return self;
         }
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
-        // One warmup sample, then the timed ones.
-        for i in 0..=self.sample_size {
+        // One warmup sample, then the timed ones (`--quick`: no warmup,
+        // one single-iteration sample).
+        let first = if self.quick { 1 } else { 0 };
+        for i in first..=self.sample_size {
             let mut b = Bencher {
                 elapsed: Duration::ZERO,
                 iters: 0,
+                quick: self.quick,
             };
             f(&mut b);
             if i > 0 && b.iters > 0 {
@@ -152,11 +171,13 @@ fn fmt_duration(d: Duration) -> String {
 pub struct Bencher {
     elapsed: Duration,
     iters: u64,
+    quick: bool,
 }
 
 impl Bencher {
     /// Times repeated calls of `routine`, looping enough iterations per
-    /// sample to dominate timer resolution on fast routines.
+    /// sample to dominate timer resolution on fast routines. Under
+    /// `--quick` the routine runs exactly once.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         let start = Instant::now();
         let mut iters = 0u64;
@@ -164,7 +185,7 @@ impl Bencher {
             let out = routine();
             std::hint::black_box(&out);
             iters += 1;
-            if start.elapsed() >= Duration::from_millis(2) || iters >= 10_000 {
+            if self.quick || start.elapsed() >= Duration::from_millis(2) || iters >= 10_000 {
                 break;
             }
         }

@@ -2,21 +2,28 @@
 //!
 //! Two engines are provided:
 //!
-//! * an in-place iterative radix-2 Cooley–Tukey transform for power-of-two
-//!   lengths, and
-//! * the Bluestein (chirp-z) algorithm for arbitrary lengths, built on top of
-//!   the radix-2 engine via circular convolution.
+//! * the plan-based fast path in [`crate::planner`] — cached bit-reversal
+//!   and exact twiddle tables, Bluestein chirp/kernel spectra precomputed
+//!   per length, in-place processing, and a packed real-input transform;
+//! * [`reference`] — the original per-call engine (incremental twiddle
+//!   recurrence, fresh Bluestein setup every call), kept as the oracle for
+//!   regression tests and as the "unplanned" baseline in the DSP benches.
 //!
-//! [`fft`]/[`ifft`] dispatch automatically. The forward transform is
-//! unnormalized (`X[k] = sum_n x[n] e^{-i 2 pi k n / N}`); the inverse divides
-//! by `N`, so `ifft(fft(x)) == x`.
+//! The free functions here ([`fft`]/[`ifft`]/[`rfft`]/[`rfft_mag`]) keep
+//! their original allocating signatures but route through the thread-local
+//! planner ([`crate::planner::with_planner`]), so every caller gets cached
+//! plans automatically; hot paths that want zero steady-state allocation use
+//! the planner's in-place APIs directly.
 //!
-//! The tag decoder mostly uses small power-of-two windows, while the radar
-//! range processing sometimes needs odd lengths (a chirp's sample count is set
-//! by its duration), which is why Bluestein is included rather than silently
-//! zero-padding and changing bin frequencies.
+//! The forward transform is unnormalized
+//! (`X[k] = sum_n x[n] e^{-i 2 pi k n / N}`); the inverse divides by `N`, so
+//! `ifft(fft(x)) == x`. The tag decoder mostly uses small power-of-two
+//! windows, while the radar range processing sometimes needs odd lengths (a
+//! chirp's sample count is set by its duration), which is why Bluestein is
+//! included rather than silently zero-padding and changing bin frequencies.
 
 use crate::complex::Cpx;
+use crate::planner::with_planner;
 use crate::TAU;
 
 /// Returns the smallest power of two `>= n` (and `>= 1`).
@@ -29,12 +36,18 @@ pub fn is_pow2(n: usize) -> bool {
     n != 0 && n & (n - 1) == 0
 }
 
-/// In-place radix-2 decimation-in-time FFT.
+/// In-place radix-2 decimation-in-time FFT (through the thread-local plan
+/// cache).
 ///
 /// # Panics
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_pow2_in_place(data: &mut [Cpx]) {
-    transform_pow2(data, false);
+    assert!(
+        is_pow2(data.len()),
+        "radix-2 FFT requires power-of-two length, got {}",
+        data.len()
+    );
+    with_planner(|p| p.fft_in_place(data));
 }
 
 /// In-place radix-2 inverse FFT, including the `1/N` normalization.
@@ -42,144 +55,46 @@ pub fn fft_pow2_in_place(data: &mut [Cpx]) {
 /// # Panics
 /// Panics if `data.len()` is not a power of two.
 pub fn ifft_pow2_in_place(data: &mut [Cpx]) {
-    transform_pow2(data, true);
-    let n = data.len() as f64;
-    for v in data.iter_mut() {
-        *v = *v / n;
-    }
-}
-
-fn transform_pow2(data: &mut [Cpx], inverse: bool) {
-    let n = data.len();
     assert!(
-        is_pow2(n),
-        "radix-2 FFT requires power-of-two length, got {n}"
+        is_pow2(data.len()),
+        "radix-2 FFT requires power-of-two length, got {}",
+        data.len()
     );
-    if n <= 1 {
-        return;
-    }
-
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 0..n - 1 {
-        if i < j {
-            data.swap(i, j);
-        }
-        let mut mask = n >> 1;
-        while j & mask != 0 {
-            j &= !mask;
-            mask >>= 1;
-        }
-        j |= mask;
-    }
-
-    // Butterflies. Twiddles are recomputed per stage from a stage base phasor;
-    // the incremental multiply keeps the cost at one complex mul per butterfly.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * TAU / len as f64;
-        let wlen = Cpx::cis(ang);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Cpx::ONE;
-            let half = len / 2;
-            for k in 0..half {
-                let u = chunk[k];
-                let v = chunk[k + half] * w;
-                chunk[k] = u + v;
-                chunk[k + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
+    with_planner(|p| p.ifft_in_place(data));
 }
 
-/// Forward DFT of arbitrary length. Power-of-two inputs use radix-2 directly;
-/// other lengths use Bluestein's algorithm. Returns a new vector.
+/// Forward DFT of arbitrary length. Power-of-two inputs use radix-2
+/// directly; other lengths use Bluestein's algorithm. Returns a new vector.
 pub fn fft(input: &[Cpx]) -> Vec<Cpx> {
-    if is_pow2(input.len()) {
-        let mut v = input.to_vec();
-        fft_pow2_in_place(&mut v);
-        v
-    } else {
-        bluestein(input, false)
-    }
+    let mut v = input.to_vec();
+    with_planner(|p| p.fft_in_place(&mut v));
+    v
 }
 
-/// Inverse DFT of arbitrary length (normalized by `1/N`). Returns a new vector.
+/// Inverse DFT of arbitrary length (normalized by `1/N`). Returns a new
+/// vector.
 pub fn ifft(input: &[Cpx]) -> Vec<Cpx> {
-    if is_pow2(input.len()) {
-        let mut v = input.to_vec();
-        ifft_pow2_in_place(&mut v);
-        v
-    } else {
-        let mut v = bluestein(input, true);
-        let n = input.len() as f64;
-        for z in v.iter_mut() {
-            *z = *z / n;
-        }
-        v
-    }
-}
-
-/// Bluestein chirp-z transform: expresses an N-point DFT as a circular
-/// convolution, evaluated with power-of-two FFTs of length >= 2N-1.
-fn bluestein(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
-    let n = input.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    if n == 1 {
-        return input.to_vec();
-    }
-    let sign = if inverse { -1.0 } else { 1.0 };
-    let m = next_pow2(2 * n - 1);
-
-    // Chirp c[k] = e^{-i pi k^2 / n} for the forward transform (conjugated
-    // for the inverse). Compute k^2 mod 2n to keep the argument small and the
-    // phase exact even for large k.
-    let chirp: Vec<Cpx> = (0..n)
-        .map(|k| {
-            let k2 = (k as u64 * k as u64) % (2 * n as u64);
-            Cpx::cis(sign * -std::f64::consts::PI * k2 as f64 / n as f64)
-        })
-        .collect();
-
-    let mut a = vec![Cpx::ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-    }
-    let mut b = vec![Cpx::ZERO; m];
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
-    }
-
-    fft_pow2_in_place(&mut a);
-    fft_pow2_in_place(&mut b);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
-    ifft_pow2_in_place(&mut a);
-
-    (0..n).map(|k| a[k] * chirp[k]).collect()
+    let mut v = input.to_vec();
+    with_planner(|p| p.ifft_in_place(&mut v));
+    v
 }
 
 /// Forward DFT of a real-valued signal. Returns the full complex spectrum
 /// (length `input.len()`); bins above `N/2` are the conjugate mirror.
+/// Internally uses the packed real-input plan (half the transform work) for
+/// even lengths.
 pub fn rfft(input: &[f64]) -> Vec<Cpx> {
-    let v: Vec<Cpx> = input.iter().map(|&x| Cpx::real(x)).collect();
-    fft(&v)
+    with_planner(|p| p.rfft_full(input))
 }
 
 /// Magnitude spectrum of a real signal: `|FFT|` for bins `0..=N/2`.
+/// Computes only the half spectrum (no mirror is materialized).
 pub fn rfft_mag(input: &[f64]) -> Vec<f64> {
-    let spec = rfft(input);
-    let half = spec.len() / 2 + 1;
-    spec.iter().take(half).map(|z| z.abs()).collect()
+    with_planner(|p| {
+        let mut half = Vec::new();
+        p.rfft_half_into(input, &mut half);
+        half.iter().map(|z| z.abs()).collect()
+    })
 }
 
 /// Frequency (Hz) of FFT `bin` for a transform of length `n` at sample rate
@@ -197,6 +112,157 @@ pub fn bin_to_freq(bin: usize, n: usize, fs: f64) -> f64 {
 /// `fs` for an `n`-point transform.
 pub fn freq_to_bin(freq: f64, n: usize, fs: f64) -> f64 {
     freq * n as f64 / fs
+}
+
+/// The original per-call FFT engine, predating the plan cache.
+///
+/// Twiddles are generated incrementally (`w *= wlen`), which costs one extra
+/// complex multiply per butterfly, serializes the inner loop on the phasor
+/// recurrence, and accumulates rounding drift that grows with `N`; Bluestein
+/// lengths rebuild the chirp and kernel spectrum on every call. Kept
+/// verbatim as a numerical oracle for the planner's regression tests and as
+/// the honest "unplanned" baseline in `benches/dsp.rs` — new code should use
+/// [`fft`]/[`ifft`] or the planner directly.
+pub mod reference {
+    use super::{is_pow2, next_pow2, Cpx, TAU};
+
+    /// In-place radix-2 FFT with incremental twiddles.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a power of two.
+    pub fn fft_pow2_in_place(data: &mut [Cpx]) {
+        transform_pow2(data, false);
+    }
+
+    /// In-place radix-2 inverse FFT, including the `1/N` normalization.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a power of two.
+    pub fn ifft_pow2_in_place(data: &mut [Cpx]) {
+        transform_pow2(data, true);
+        let n = data.len() as f64;
+        for v in data.iter_mut() {
+            *v = *v / n;
+        }
+    }
+
+    fn transform_pow2(data: &mut [Cpx], inverse: bool) {
+        let n = data.len();
+        assert!(
+            is_pow2(n),
+            "radix-2 FFT requires power-of-two length, got {n}"
+        );
+        if n <= 1 {
+            return;
+        }
+
+        // Bit-reversal permutation.
+        let mut j = 0usize;
+        for i in 0..n - 1 {
+            if i < j {
+                data.swap(i, j);
+            }
+            let mut mask = n >> 1;
+            while j & mask != 0 {
+                j &= !mask;
+                mask >>= 1;
+            }
+            j |= mask;
+        }
+
+        // Butterflies. Twiddles are recomputed per stage from a stage base
+        // phasor; the incremental multiply keeps the cost at one complex mul
+        // per butterfly (plus one for the recurrence itself).
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut len = 2;
+        while len <= n {
+            let ang = sign * TAU / len as f64;
+            let wlen = Cpx::cis(ang);
+            for chunk in data.chunks_mut(len) {
+                let mut w = Cpx::ONE;
+                let half = len / 2;
+                for k in 0..half {
+                    let u = chunk[k];
+                    let v = chunk[k + half] * w;
+                    chunk[k] = u + v;
+                    chunk[k + half] = u - v;
+                    w *= wlen;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Forward DFT of arbitrary length, rebuilding all per-length state.
+    pub fn fft(input: &[Cpx]) -> Vec<Cpx> {
+        if is_pow2(input.len()) {
+            let mut v = input.to_vec();
+            fft_pow2_in_place(&mut v);
+            v
+        } else {
+            bluestein(input, false)
+        }
+    }
+
+    /// Inverse DFT of arbitrary length (normalized by `1/N`).
+    pub fn ifft(input: &[Cpx]) -> Vec<Cpx> {
+        if is_pow2(input.len()) {
+            let mut v = input.to_vec();
+            ifft_pow2_in_place(&mut v);
+            v
+        } else {
+            let mut v = bluestein(input, true);
+            let n = input.len() as f64;
+            for z in v.iter_mut() {
+                *z = *z / n;
+            }
+            v
+        }
+    }
+
+    /// Bluestein chirp-z transform with per-call chirp/kernel setup.
+    fn bluestein(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
+        let n = input.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return input.to_vec();
+        }
+        let sign = if inverse { -1.0 } else { 1.0 };
+        let m = next_pow2(2 * n - 1);
+
+        // Chirp c[k] = e^{-i pi k^2 / n} for the forward transform
+        // (conjugated for the inverse). k^2 mod 2n keeps the argument small
+        // and the phase exact even for large k.
+        let chirp: Vec<Cpx> = (0..n)
+            .map(|k| {
+                let k2 = (k as u64 * k as u64) % (2 * n as u64);
+                Cpx::cis(sign * -std::f64::consts::PI * k2 as f64 / n as f64)
+            })
+            .collect();
+
+        let mut a = vec![Cpx::ZERO; m];
+        for k in 0..n {
+            a[k] = input[k] * chirp[k];
+        }
+        let mut b = vec![Cpx::ZERO; m];
+        b[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            b[k] = c;
+            b[m - k] = c;
+        }
+
+        fft_pow2_in_place(&mut a);
+        fft_pow2_in_place(&mut b);
+        for k in 0..m {
+            a[k] *= b[k];
+        }
+        ifft_pow2_in_place(&mut a);
+
+        (0..n).map(|k| a[k] * chirp[k]).collect()
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +314,15 @@ mod tests {
         for &n in &[3usize, 5, 6, 7, 12, 100, 255, 257] {
             let x = test_vec(n);
             assert_close(&fft(&x), &dft_naive(&x), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn planned_matches_reference_engine() {
+        for &n in &[4usize, 16, 100, 255, 256, 1000, 1024] {
+            let x = test_vec(n);
+            assert_close(&fft(&x), &reference::fft(&x), 1e-9 * n as f64);
+            assert_close(&ifft(&x), &reference::ifft(&x), 1e-9);
         }
     }
 
@@ -312,6 +387,19 @@ mod tests {
     }
 
     #[test]
+    fn rfft_matches_widened_complex_fft() {
+        for &n in &[8usize, 63, 64, 200, 1024] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.7).cos() + 0.1 * i as f64)
+                .collect();
+            let widened: Vec<Cpx> = x.iter().map(|&v| Cpx::real(v)).collect();
+            assert_close(&rfft(&x), &fft(&widened), 1e-9 * n as f64);
+            let mag = rfft_mag(&x);
+            assert_eq!(mag.len(), n / 2 + 1);
+        }
+    }
+
+    #[test]
     fn bin_freq_roundtrip() {
         let n = 256;
         let fs = 10_000.0;
@@ -342,6 +430,8 @@ mod tests {
     #[test]
     fn empty_and_single() {
         assert!(fft(&[]).is_empty());
+        assert!(rfft(&[]).is_empty());
+        assert!(rfft_mag(&[]).is_empty());
         let one = [Cpx::new(2.0, 3.0)];
         assert_close(&fft(&one), &one, 1e-15);
     }

@@ -18,6 +18,7 @@
 //! |---|---|
 //! | [`complex`] | `Cpx` complex number type and arithmetic |
 //! | [`fft`] | radix-2 Cooley–Tukey and Bluestein FFT/IFFT, real-input helper |
+//! | [`planner`] | cached FFT plans, in-place/scratch APIs, packed real FFT |
 //! | [`window`] | Hann, Hamming, Blackman(-Harris), Kaiser, flat-top windows |
 //! | [`goertzel`] | single-bin DFT evaluation, sliding Goertzel, filter banks |
 //! | [`filter`] | windowed-sinc FIR design, biquad IIR, RC single-pole, moving average |
@@ -34,6 +35,7 @@ pub mod complex;
 pub mod fft;
 pub mod filter;
 pub mod goertzel;
+pub mod planner;
 pub mod resample;
 pub mod signal;
 pub mod spectrum;

@@ -6,7 +6,8 @@
 //! refines the tag's range bin to sub-bin (centimetre) precision with
 //! [`parabolic_peak`].
 
-use crate::fft::{bin_to_freq, rfft};
+use crate::fft::bin_to_freq;
+use crate::planner::with_planner;
 use crate::window::WindowKind;
 
 /// One-sided power spectrum of a real signal, optionally windowed.
@@ -20,20 +21,28 @@ pub fn periodogram(signal: &[f64], fs: f64, window: WindowKind) -> (Vec<f64>, Ve
     if n == 0 {
         return (Vec::new(), Vec::new());
     }
-    let w = window.coefficients(n);
-    let cg = window.coherent_gain(n);
-    let buf: Vec<f64> = signal.iter().zip(&w).map(|(&s, &wi)| s * wi).collect();
-    let spec = rfft(&buf);
+    let w = window.cached(n);
     let half = n / 2 + 1;
-    let norm = 1.0 / (n as f64 * cg);
-    let power: Vec<f64> = spec
-        .iter()
-        .take(half)
-        .map(|z| {
-            let m = z.abs() * norm;
-            m * m
+    let norm = 1.0 / (n as f64 * w.coherent_gain);
+    // Windowed half-spectrum through the thread-local plan cache: the
+    // windowed copy lives in planner scratch and the transform runs the
+    // packed real-input plan, so repeated same-length calls don't allocate
+    // working buffers.
+    let power: Vec<f64> = with_planner(|p| {
+        p.with_real_scratch(n, |p, buf| {
+            for ((b, &s), &wi) in buf.iter_mut().zip(signal).zip(&w.coeffs) {
+                *b = s * wi;
+            }
+            let mut spec = Vec::new();
+            p.rfft_half_into(buf, &mut spec);
+            spec.iter()
+                .map(|z| {
+                    let m = z.abs() * norm;
+                    m * m
+                })
+                .collect()
         })
-        .collect();
+    });
     let freqs: Vec<f64> = (0..half).map(|k| bin_to_freq(k, n, fs)).collect();
     (freqs, power)
 }

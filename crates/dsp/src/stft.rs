@@ -6,7 +6,8 @@
 //! this plane. The STFT is also used by the diagnostics in the examples and
 //! by tests that verify the beat tone's time-frequency structure.
 
-use crate::fft::{next_pow2, rfft};
+use crate::fft::next_pow2;
+use crate::planner::with_planner;
 use crate::window::WindowKind;
 
 /// A magnitude spectrogram.
@@ -74,31 +75,39 @@ pub fn stft(
     assert!(window_len > 0, "window_len must be nonzero");
     assert!(hop > 0, "hop must be nonzero");
     let n_fft = next_pow2(window_len);
-    let coeffs = window.coefficients(window_len);
-    let cg = window.coherent_gain(window_len);
-    let norm = 1.0 / (window_len as f64 * cg);
+    let win = window.cached(window_len);
+    let norm = 1.0 / (window_len as f64 * win.coherent_gain);
 
+    // One planned real FFT per hop: window/pad into planner scratch, reuse
+    // the cached plan and one spectrum buffer across all frames.
     let mut frames = Vec::new();
-    let mut start = 0usize;
-    while start + window_len <= signal.len() {
-        let mut buf = vec![0.0f64; n_fft];
-        // Remove the window mean (the envelope rides on a DC level).
-        let mean = signal[start..start + window_len].iter().sum::<f64>() / window_len as f64;
-        for (i, b) in buf.iter_mut().take(window_len).enumerate() {
-            *b = (signal[start + i] - mean) * coeffs[i];
-        }
-        let spec = rfft(&buf);
-        frames.push(
-            spec.iter()
-                .take(n_fft / 2 + 1)
-                .map(|z| {
-                    let m = z.abs() * norm;
-                    m * m
-                })
-                .collect(),
-        );
-        start += hop;
-    }
+    with_planner(|p| {
+        p.with_real_scratch(n_fft, |p, buf| {
+            let mut spec = Vec::new();
+            let mut start = 0usize;
+            while start + window_len <= signal.len() {
+                // Remove the window mean (the envelope rides on a DC level).
+                let mean =
+                    signal[start..start + window_len].iter().sum::<f64>() / window_len as f64;
+                for (i, b) in buf.iter_mut().take(window_len).enumerate() {
+                    *b = (signal[start + i] - mean) * win.coeffs[i];
+                }
+                for b in buf.iter_mut().skip(window_len) {
+                    *b = 0.0;
+                }
+                p.rfft_half_into(buf, &mut spec);
+                frames.push(
+                    spec.iter()
+                        .map(|z| {
+                            let m = z.abs() * norm;
+                            m * m
+                        })
+                        .collect(),
+                );
+                start += hop;
+            }
+        })
+    });
     Spectrogram {
         power: frames,
         hop_s: hop as f64 / fs,

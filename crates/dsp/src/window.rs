@@ -6,8 +6,12 @@
 //! owned `Vec<f64>` of the requested length using the *periodic* convention
 //! unless stated otherwise (suitable for FFT analysis).
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 /// Supported window shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowKind {
     /// All-ones window (no tapering).
     Rect,
@@ -58,6 +62,49 @@ impl WindowKind {
         let s1: f64 = w.iter().sum();
         let s2: f64 = w.iter().map(|x| x * x).sum();
         n as f64 * s2 / (s1 * s1)
+    }
+
+    /// The coefficients and coherent gain for `(self, n)` from a
+    /// thread-local cache. Per-chirp processing windows the same length
+    /// hundreds of times per frame; the cache turns each repeat into a hash
+    /// lookup and an [`Rc`] clone.
+    pub fn cached(self, n: usize) -> Rc<CachedWindow> {
+        thread_local! {
+            static CACHE: RefCell<HashMap<(WindowKind, usize), Rc<CachedWindow>>> =
+                RefCell::new(HashMap::new());
+        }
+        CACHE.with(|c| {
+            Rc::clone(
+                c.borrow_mut()
+                    .entry((self, n))
+                    .or_insert_with(|| Rc::new(CachedWindow::new(self, n))),
+            )
+        })
+    }
+}
+
+/// A window's coefficients plus the derived scalars spectral code needs,
+/// computed once per `(kind, length)` by [`WindowKind::cached`].
+#[derive(Debug, Clone)]
+pub struct CachedWindow {
+    /// The window coefficients (length as requested).
+    pub coeffs: Vec<f64>,
+    /// Mean of the coefficients (see [`WindowKind::coherent_gain`]).
+    pub coherent_gain: f64,
+}
+
+impl CachedWindow {
+    fn new(kind: WindowKind, n: usize) -> CachedWindow {
+        let coeffs = kind.coefficients(n);
+        let coherent_gain = if n == 0 {
+            1.0
+        } else {
+            coeffs.iter().sum::<f64>() / n as f64
+        };
+        CachedWindow {
+            coeffs,
+            coherent_gain,
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 
 use super::AlignedFrame;
 use biscatter_dsp::complex::Cpx;
-use biscatter_dsp::fft::fft;
+use biscatter_dsp::planner::with_planner;
 use biscatter_dsp::window::WindowKind;
 
 /// A range–Doppler (range–modulation) power map.
@@ -67,20 +67,24 @@ pub fn range_doppler(frame: &AlignedFrame) -> RangeDopplerMap {
     let n_chirps = frame.n_chirps();
     let n_range = frame.range_grid.len();
     let n_doppler = biscatter_dsp::fft::next_pow2(n_chirps);
-    let window = WindowKind::Hann.coefficients(n_chirps);
+    let window = WindowKind::Hann.cached(n_chirps);
 
+    // One plan for all range bins: every slow-time column is the same
+    // power-of-two length, so the transform runs in place on a single reused
+    // column buffer with no per-column allocation.
     let mut power = vec![vec![0.0f64; n_range]; n_doppler];
+    let plan = with_planner(|p| p.plan(n_doppler));
     let mut column = vec![Cpx::ZERO; n_doppler];
     for r in 0..n_range {
         for (c, z) in column.iter_mut().enumerate().take(n_doppler) {
             *z = if c < n_chirps {
-                frame.profiles[c][r] * window[c]
+                frame.profiles[c][r] * window.coeffs[c]
             } else {
                 Cpx::ZERO
             };
         }
-        let spec = fft(&column);
-        for (row, z) in power.iter_mut().zip(&spec) {
+        plan.process(&mut column);
+        for (row, z) in power.iter_mut().zip(&column) {
             row[r] = z.norm_sq();
         }
     }

@@ -8,26 +8,39 @@
 //! amplitude ripple would masquerade as tag modulation in the Doppler domain.
 
 use biscatter_dsp::complex::Cpx;
-use biscatter_dsp::fft::{fft, next_pow2};
+use biscatter_dsp::fft::next_pow2;
+use biscatter_dsp::planner::with_planner;
 use biscatter_dsp::window::WindowKind;
 
 /// Complex half-spectrum (bins `0..n_fft/2 + 1`) of one chirp's IF samples,
 /// amplitude-normalized as described in the module docs.
+///
+/// The IF samples are real, so the transform runs the planner's packed
+/// real-input plan (half the work of the complex FFT the seed used), with
+/// the window coefficients and the padded buffer both coming from
+/// thread-local caches — per-chirp calls in a frame loop allocate only the
+/// returned profile.
 pub fn complex_profile(if_samples: &[f64], n_fft: usize) -> Vec<Cpx> {
     let n = if_samples.len();
     let n_fft = next_pow2(n_fft.max(n));
     if n == 0 {
         return vec![Cpx::ZERO; n_fft / 2 + 1];
     }
-    let w = WindowKind::Hann.coefficients(n);
-    let cg = WindowKind::Hann.coherent_gain(n);
-    let mut buf = vec![Cpx::ZERO; n_fft];
-    for i in 0..n {
-        buf[i] = Cpx::real(if_samples[i] * w[i]);
-    }
-    let spec = fft(&buf);
-    let norm = 1.0 / (n as f64 * cg);
-    spec.iter().take(n_fft / 2 + 1).map(|&z| z * norm).collect()
+    let win = WindowKind::Hann.cached(n);
+    let norm = 1.0 / (n as f64 * win.coherent_gain);
+    with_planner(|p| {
+        p.with_real_scratch(n_fft, |p, buf| {
+            for ((b, &s), &w) in buf.iter_mut().zip(if_samples).zip(&win.coeffs) {
+                *b = s * w;
+            }
+            let mut spec = Vec::new();
+            p.rfft_half_into(buf, &mut spec);
+            for z in spec.iter_mut() {
+                *z = z.scale(norm);
+            }
+            spec
+        })
+    })
 }
 
 /// Power profile (|X|²) of the half spectrum.

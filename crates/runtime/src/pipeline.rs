@@ -29,7 +29,7 @@ use std::time::Instant;
 use biscatter_core::downlink::FrameOutcome;
 use biscatter_core::isac::{
     align_stage, dechirp_stage, detect_stage, doppler_stage, run_isac_frame, synthesize_frame,
-    AlignedPair, IsacOutcome, SynthesizedFrame,
+    warm_dsp_plans, AlignedPair, IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
@@ -164,30 +164,39 @@ struct EnvDone {
 }
 
 /// Spawns `workers` threads that drain `input` through `f` into `output`.
-/// The last worker to observe the drained input closes `output`, propagating
-/// shutdown downstream.
-fn spawn_pool<'s, I, O, F>(
+/// Each worker runs `init` once before its drain loop — the FFT-heavy
+/// stages use it to warm the thread-local plan cache
+/// ([`biscatter_core::isac::warm_dsp_plans`]) so plan construction is paid
+/// at spawn, not inside the first frame's latency. The last worker to
+/// observe the drained input closes `output`, propagating shutdown
+/// downstream.
+fn spawn_pool<'s, I, O, F, G>(
     scope: &'s thread::Scope<'s, '_>,
     workers: usize,
     input: &Arc<BoundedQueue<I>>,
     output: &Arc<BoundedQueue<O>>,
     metrics: &Arc<StageMetrics>,
+    init: G,
     f: F,
 ) where
     I: Send + 's,
     O: Send + 's,
     F: Fn(I) -> O + Send + Sync + 's,
+    G: Fn() + Send + Sync + 's,
 {
     assert!(workers > 0, "stages need at least one worker");
     let f = Arc::new(f);
+    let init = Arc::new(init);
     let alive = Arc::new(AtomicUsize::new(workers));
     for _ in 0..workers {
         let input = Arc::clone(input);
         let output = Arc::clone(output);
         let metrics = Arc::clone(metrics);
         let f = Arc::clone(&f);
+        let init = Arc::clone(&init);
         let alive = Arc::clone(&alive);
         scope.spawn(move || {
+            init();
             while let Some(item) = input.pop() {
                 let t0 = Instant::now();
                 let out = f(item);
@@ -250,6 +259,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_synth,
             &q_dechirp,
             &m_synth,
+            || {},
             |e: EnvJob| {
                 let synth = synthesize_frame(sys, &e.job.scenario, &e.job.payload, e.job.seed);
                 EnvSynth {
@@ -265,6 +275,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_dechirp,
             &q_align,
             &m_dechirp,
+            || {},
             |e: EnvSynth| {
                 let if_data = dechirp_stage(sys, &e.synth.train, &e.synth.scene, e.job.seed);
                 EnvIf {
@@ -282,6 +293,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_align,
             &q_doppler,
             &m_align,
+            || warm_dsp_plans(sys),
             |e: EnvIf| {
                 let pair = align_stage(sys, &e.train, &e.if_data);
                 EnvAligned {
@@ -298,6 +310,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_doppler,
             &q_detect,
             &m_doppler,
+            || warm_dsp_plans(sys),
             |e: EnvAligned| {
                 let map = doppler_stage(&e.pair);
                 EnvMapped {
@@ -315,6 +328,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_detect,
             &q_sink,
             &m_detect,
+            || warm_dsp_plans(sys),
             |e: EnvMapped| {
                 let outcome = detect_stage(&e.job.scenario, &e.pair, &e.map, e.downlink);
                 EnvDone {

@@ -15,7 +15,7 @@
 //!   offset minimizing energy inside the expected inter-chirp gap aligns
 //!   slot boundaries (Fig. 6(e)).
 
-use biscatter_dsp::fft::rfft_mag;
+use biscatter_dsp::planner::with_planner;
 use biscatter_dsp::spectrum::find_peaks_above;
 
 /// Estimates the chirp period (seconds) from raw ADC samples by normalized
@@ -128,9 +128,21 @@ pub fn estimate_period_fft(samples: &[f64], fs: f64, t_max_s: f64) -> Option<f64
     if samples.is_empty() {
         return None;
     }
+    // Mean-removed magnitude half-spectrum through the tag thread's plan
+    // cache. ADC captures are tens of thousands of samples, so the packed
+    // real-input plan (even lengths) and the cached Bluestein kernel (odd
+    // lengths) matter here more than anywhere else in the tag pipeline.
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let ac: Vec<f64> = samples.iter().map(|v| v - mean).collect();
-    let mag = rfft_mag(&ac);
+    let mag: Vec<f64> = with_planner(|p| {
+        p.with_real_scratch(samples.len(), |p, buf| {
+            for (b, &s) in buf.iter_mut().zip(samples) {
+                *b = s - mean;
+            }
+            let mut spec = Vec::new();
+            p.rfft_half_into(buf, &mut spec);
+            spec.iter().map(|z| z.abs()).collect()
+        })
+    });
     let n_fft = (mag.len() - 1) * 2;
     let df = fs / n_fft as f64;
     // Strongest lines above 5x the median magnitude.
