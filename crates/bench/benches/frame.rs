@@ -1,0 +1,193 @@
+//! `cargo bench --bench frame` — the PR-3 frame hot path: intra-frame data
+//! parallelism plus the zero-allocation arena, recorded in
+//! `results/BENCH_frame.json`:
+//!
+//! * per-frame latency of stages 2–4 (dechirp → align → doppler) on a
+//!   1-thread (serial) pool vs a pool sized to the machine;
+//! * steady-state heap allocations of one arena-path frame (counted by a
+//!   wrapping global allocator; must be 0);
+//! * a serial-vs-pooled bit-equality check on every stage output.
+//!
+//! A plain `main` (harness = false) so the medians can be written to JSON.
+//! `--quick` runs one frame per path and skips the JSON write, but still
+//! enforces the bit-equality and zero-allocation assertions — the CI smoke
+//! mode fails if the parallel path ever diverges from the serial one.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::time::Instant;
+
+use biscatter_core::isac::{
+    align_stage_into, dechirp_stage_into, doppler_stage_into, synthesize_frame, warm_dsp_plans,
+    AlignedPair, FrameArena, IsacScenario, SynthesizedFrame,
+};
+use biscatter_core::radar::receiver::doppler::RangeDopplerMap;
+use biscatter_core::rf::slab::SampleSlab;
+use biscatter_core::system::BiScatterSystem;
+use biscatter_runtime::compute::ComputePool;
+
+thread_local! {
+    /// `-1` = not counting; `>= 0` = allocations observed on this thread.
+    static ALLOCS: Cell<isize> = const { Cell::new(-1) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+fn count_one() {
+    let _ = ALLOCS.try_with(|c| {
+        let v = c.get();
+        if v >= 0 {
+            c.set(v + 1);
+        }
+    });
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// One frame through the hot stages (2–4), leaving the outputs in `pair` /
+/// `map` for inspection.
+fn run_frame(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    synth: &SynthesizedFrame,
+    arena: &FrameArena,
+    pair: &mut AlignedPair,
+    map: &mut RangeDopplerMap,
+    seed: u64,
+) {
+    let mut slab = arena.if_slabs.take_or(SampleSlab::new);
+    dechirp_stage_into(pool, sys, &synth.train, &synth.scene, seed, &mut slab);
+    align_stage_into(pool, sys, &synth.train, &*slab, pair);
+    doppler_stage_into(pool, pair, map);
+}
+
+/// Median per-frame seconds over `samples` runs (one warm-up discarded); in
+/// quick mode the frame runs exactly once.
+fn median_frame_s(
+    quick: bool,
+    samples: usize,
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    synth: &SynthesizedFrame,
+) -> f64 {
+    let arena = FrameArena::default();
+    let mut pair = AlignedPair::default();
+    let mut map = RangeDopplerMap::default();
+    run_frame(pool, sys, synth, &arena, &mut pair, &mut map, 1);
+    if quick {
+        return 0.0;
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        run_frame(pool, sys, synth, &arena, &mut pair, &mut map, 1);
+        times.push(t0.elapsed().as_secs_f64());
+        black_box(map.at(0, 0));
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let samples = 15;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let sys = BiScatterSystem::paper_9ghz();
+    let scenario = IsacScenario::single_tag(3.0, 16.0 / (128.0 * 120e-6)).with_office_clutter();
+    let synth = synthesize_frame(&sys, &scenario, b"CMD1", 7);
+    warm_dsp_plans(&sys);
+
+    let serial = ComputePool::new(1);
+    let pooled = ComputePool::new(cores.min(8));
+
+    // --- Bit-equality: pooled output must match serial exactly. ----------
+    let arena_a = FrameArena::default();
+    let arena_b = FrameArena::default();
+    let (mut pair_s, mut map_s) = (AlignedPair::default(), RangeDopplerMap::default());
+    let (mut pair_p, mut map_p) = (AlignedPair::default(), RangeDopplerMap::default());
+    run_frame(&serial, &sys, &synth, &arena_a, &mut pair_s, &mut map_s, 1);
+    run_frame(&pooled, &sys, &synth, &arena_b, &mut pair_p, &mut map_p, 1);
+    assert_eq!(
+        pair_s.comms.profiles, pair_p.comms.profiles,
+        "pooled comms profiles diverged from serial"
+    );
+    assert_eq!(
+        pair_s.sensing.profiles, pair_p.sensing.profiles,
+        "pooled sensing profiles diverged from serial"
+    );
+    assert_eq!(map_s.n_doppler, map_p.n_doppler);
+    for d in 0..map_s.n_doppler {
+        assert_eq!(
+            map_s.range_slice(d),
+            map_p.range_slice(d),
+            "pooled doppler row {d} diverged from serial"
+        );
+    }
+    println!(
+        "bit-equality: serial == pooled({} threads) across all stage outputs",
+        pooled.threads()
+    );
+
+    // --- Steady-state allocation count on the arena path. ----------------
+    // Two warm-up frames already ran above on arena_a; a third must not
+    // touch the heap at all.
+    run_frame(&serial, &sys, &synth, &arena_a, &mut pair_s, &mut map_s, 1);
+    ALLOCS.with(|c| c.set(0));
+    run_frame(&serial, &sys, &synth, &arena_a, &mut pair_s, &mut map_s, 1);
+    let steady_allocs = ALLOCS.with(|c| c.replace(-1));
+    println!("steady-state allocations (stages 2-4, arena path): {steady_allocs}");
+    assert_eq!(
+        steady_allocs, 0,
+        "arena frame path allocated in steady state"
+    );
+
+    // --- Per-frame latency, serial vs pooled. ----------------------------
+    let serial_s = median_frame_s(quick, samples, &serial, &sys, &synth);
+    let pooled_s = median_frame_s(quick, samples, &pooled, &sys, &synth);
+    let speedup = if pooled_s > 0.0 {
+        serial_s / pooled_s
+    } else {
+        0.0
+    };
+    println!(
+        "frame stages 2-4: serial {:.2} ms, pooled({}) {:.2} ms, speedup {speedup:.2}x on {cores} cores",
+        serial_s * 1e3,
+        pooled.threads(),
+        pooled_s * 1e3,
+    );
+
+    if quick {
+        println!("--quick: smoke run only, results/BENCH_frame.json not rewritten");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"frame hot path (crates/bench/benches/frame.rs)\",\n  \"note\": \"stages 2-4 (dechirp -> align -> doppler) of one ISAC frame, medians of {samples} runs after warm-up; serial = 1-thread pool (inline), pooled = min(cores, 8) threads. steady_state_allocs counted by a wrapping global allocator over one arena-path frame; acceptance: 0. speedup target (>= 1.8x) asserted by the core-count-gated test crates/core/tests/frame_speedup.rs on machines with >= 4 cores.\",\n  \"cores\": {cores},\n  \"pooled_threads\": {},\n  \"serial_frame_ns\": {:.0},\n  \"pooled_frame_ns\": {:.0},\n  \"speedup\": {speedup:.2},\n  \"steady_state_allocs\": {steady_allocs},\n  \"bit_identical\": true\n}}\n",
+        pooled.threads(),
+        serial_s * 1e9,
+        pooled_s * 1e9,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_frame.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_frame.json");
+    println!("wrote {path}");
+}

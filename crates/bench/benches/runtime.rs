@@ -32,6 +32,7 @@ fn bench_runtime(c: &mut Criterion) {
         queue_capacity: 8,
         policy: Backpressure::Block,
         workers: StageWorkers::auto(),
+        ..RuntimeConfig::default()
     };
     g.bench_function("pipelined_24_frames", |b| {
         b.iter(|| run_streaming(&sys, black_box(jobs.clone()), &cfg))

@@ -226,10 +226,9 @@ pub fn extension_aoa_2d() -> Experiment {
             noise_sigma: 0.02,
         };
         let mut noise = NoiseSource::new((11_000i64 + az_deg as i64) as u64);
-        let per_rx = rx.dechirp_train_array(&train, &scene, 0.0, 2, spacing, &mut noise);
-        let frames: Vec<_> = per_rx
-            .iter()
-            .map(|d| align_frame(&sys.rx, &train, d))
+        let capture = rx.dechirp_train_array(&train, &scene, 0.0, 2, spacing, &mut noise);
+        let frames: Vec<_> = (0..capture.n_rx())
+            .map(|k| align_frame(&sys.rx, &train, &capture.rx_view(k)))
             .collect();
         match locate_tag_2d(&frames, spacing, f_mod, 10.0) {
             Some(pos) => {

@@ -20,17 +20,20 @@
 
 use crate::downlink::FrameOutcome;
 use crate::system::BiScatterSystem;
+use biscatter_compute::ComputePool;
+use biscatter_dsp::arena::{Lease, Pool};
 use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::packet::DownlinkPacket;
-use biscatter_radar::receiver::doppler::{range_doppler, RangeDopplerMap};
+use biscatter_radar::receiver::doppler::{range_doppler_into, RangeDopplerMap};
 use biscatter_radar::receiver::localize::{locate_tag, TagLocation};
 use biscatter_radar::receiver::uplink::{demodulate, UplinkScheme};
-use biscatter_radar::receiver::{align_frame, AlignedFrame, RxConfig};
+use biscatter_radar::receiver::{align_frame_into, AlignedFrame, RxConfig};
 use biscatter_radar::sensing::{CfarDetector, Detection};
 use biscatter_radar::sequencer::isac_frame;
 use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::if_gen::IfReceiver;
 use biscatter_rf::scene::{Scatterer, Scene, TagModulation};
+use biscatter_rf::slab::{ChirpRows, SampleSlab};
 use biscatter_tag::decoder::DownlinkDecoder;
 
 /// A static reflector in the scenario (range, amplitude relative to the
@@ -167,12 +170,38 @@ pub struct SynthesizedFrame {
 }
 
 /// Stage 3 output: aligned range profiles for both receive paths.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AlignedPair {
     /// Comms/localization path (background subtracted).
     pub comms: AlignedFrame,
     /// Sensing path (no background subtraction: static world is the signal).
     pub sensing: AlignedFrame,
+}
+
+/// Recyclable buffers for the frame hot path (stages 2–5).
+///
+/// Each field is a [`Pool`] of one stage's output buffer: a stage checks a
+/// buffer out ([`Pool::take_or`]), fills it through its `_into` variant, and
+/// the buffer returns to the pool when its [`Lease`] drops — typically after
+/// the next stage has consumed it. Clones share the underlying free lists,
+/// so one arena can serve every worker of a streaming pipeline.
+///
+/// After a warm-up frame has sized every buffer, stages 2–4 (dechirp →
+/// align → doppler) perform **no heap allocation** on a 1-thread pool: all
+/// sample slabs, profile rows, power slabs, and FFT scratch are reused. (A
+/// multi-thread pool additionally allocates a handful of small control
+/// blocks per parallel region; stages 1 and 5 build fresh outputs — packets,
+/// detections — by design.)
+#[derive(Debug, Clone, Default)]
+pub struct FrameArena {
+    /// Stage 2 IF sample slabs.
+    pub if_slabs: Pool<SampleSlab>,
+    /// Stage 3 aligned frame pairs.
+    pub aligned: Pool<AlignedPair>,
+    /// Stage 4 range–Doppler maps.
+    pub maps: Pool<RangeDopplerMap>,
+    /// Stage 5 mean-power scratch.
+    pub scratch: Pool<Vec<f64>>,
 }
 
 /// Stage 1 — frame synthesis: builds the chirp train, runs the tag-side
@@ -257,7 +286,8 @@ pub fn synthesize_frame(
 }
 
 /// Stage 2 — dechirp / IF generation: the radar mixes the scene's
-/// reflection of every chirp down to IF samples.
+/// reflection of every chirp down to IF samples (per-chirp vectors; the
+/// slab-recycling variant is [`dechirp_stage_into`]).
 pub fn dechirp_stage(
     sys: &BiScatterSystem,
     train: &ChirpTrain,
@@ -272,22 +302,68 @@ pub fn dechirp_stage(
     rx.dechirp_train(train, scene, 0.0, &mut if_noise)
 }
 
+/// [`dechirp_stage`] writing into a reusable sample slab, fanning chirp
+/// synthesis across `pool` (noise stays serial, so results are
+/// bit-identical to the serial path for any worker count).
+pub fn dechirp_stage_into(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    train: &ChirpTrain,
+    scene: &Scene,
+    seed: u64,
+    out: &mut SampleSlab,
+) {
+    let rx = IfReceiver {
+        sample_rate_hz: sys.rx.if_sample_rate,
+        noise_sigma: 1.0,
+    };
+    let mut if_noise = NoiseSource::new(seed ^ 0x5EED_0F1F_2F3F);
+    rx.dechirp_train_into(pool, train, scene, 0.0, &mut if_noise, out);
+}
+
 /// Stage 3 — align + IF correction: per-chirp range FFTs resampled onto the
 /// common range grid, once per receive path (with and without background
-/// subtraction).
-pub fn align_stage(sys: &BiScatterSystem, train: &ChirpTrain, if_data: &[Vec<f64>]) -> AlignedPair {
-    let comms = align_frame(&sys.rx, train, if_data);
+/// subtraction). Accepts any [`ChirpRows`] capture; convenience wrapper over
+/// [`align_stage_into`] on the global compute pool.
+pub fn align_stage<R: ChirpRows + ?Sized>(
+    sys: &BiScatterSystem,
+    train: &ChirpTrain,
+    if_data: &R,
+) -> AlignedPair {
+    let mut pair = AlignedPair::default();
+    align_stage_into(ComputePool::global(), sys, train, if_data, &mut pair);
+    pair
+}
+
+/// [`align_stage`] recycling `out`'s profile buffers and grid `Arc`s,
+/// fanning per-chirp FFT + resample across `pool`.
+pub fn align_stage_into<R: ChirpRows + ?Sized>(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    train: &ChirpTrain,
+    if_data: &R,
+    out: &mut AlignedPair,
+) {
+    align_frame_into(pool, &sys.rx, train, if_data, &mut out.comms);
     let sensing_cfg = RxConfig {
         background_subtraction: false,
         ..sys.rx.clone()
     };
-    let sensing = align_frame(&sensing_cfg, train, if_data);
-    AlignedPair { comms, sensing }
+    align_frame_into(pool, &sensing_cfg, train, if_data, &mut out.sensing);
 }
 
 /// Stage 4 — range–Doppler: slow-time FFT of the comms-path frame.
+/// Convenience wrapper over [`doppler_stage_into`] on the global pool.
 pub fn doppler_stage(pair: &AlignedPair) -> RangeDopplerMap {
-    range_doppler(&pair.comms)
+    let mut map = RangeDopplerMap::default();
+    doppler_stage_into(ComputePool::global(), pair, &mut map);
+    map
+}
+
+/// [`doppler_stage`] recycling `out`'s power slab, splitting range columns
+/// across `pool`.
+pub fn doppler_stage_into(pool: &ComputePool, pair: &AlignedPair, out: &mut RangeDopplerMap) {
+    range_doppler_into(pool, &pair.comms, out);
 }
 
 /// Stage 5 — uplink demod + CFAR/localization: localizes the tag on the
@@ -299,6 +375,20 @@ pub fn detect_stage(
     pair: &AlignedPair,
     map: &RangeDopplerMap,
     downlink: FrameOutcome,
+) -> IsacOutcome {
+    let mut mean_power = Vec::new();
+    detect_stage_with(scenario, pair, map, downlink, &mut mean_power)
+}
+
+/// [`detect_stage`] with an explicit mean-power scratch buffer, so the only
+/// allocations left are the outcome's own products (location, bits,
+/// detections).
+pub fn detect_stage_with(
+    scenario: &IsacScenario,
+    pair: &AlignedPair,
+    map: &RangeDopplerMap,
+    downlink: FrameOutcome,
+    mean_power: &mut Vec<f64>,
 ) -> IsacOutcome {
     let location = locate_tag(map, scenario.tag_mod_freq_hz, 10.0);
     let uplink_bits = if scenario.uplink_bits.is_empty() {
@@ -320,7 +410,8 @@ pub fn detect_stage(
     // Accumulate profiles-outer so each pass walks one contiguous profile
     // row, instead of striding `p[r]` across every profile per range bin
     // (cache-hostile column-major access for frames with many chirps).
-    let mut mean_power = vec![0.0f64; sensing_frame.range_grid.len()];
+    mean_power.clear();
+    mean_power.resize(sensing_frame.range_grid.len(), 0.0);
     for p in &sensing_frame.profiles {
         for (acc, z) in mean_power.iter_mut().zip(p) {
             *acc += z.norm_sq();
@@ -329,7 +420,7 @@ pub fn detect_stage(
     for acc in mean_power.iter_mut() {
         *acc /= n;
     }
-    let detections = CfarDetector::default().detect(&mean_power, &sensing_frame.range_grid);
+    let detections = CfarDetector::default().detect(mean_power, &sensing_frame.range_grid);
 
     IsacOutcome {
         downlink,
@@ -351,6 +442,29 @@ pub fn run_isac_frame(
     let pair = align_stage(sys, &synth.train, &if_data);
     let map = doppler_stage(&pair);
     detect_stage(scenario, &pair, &map, synth.downlink)
+}
+
+/// [`run_isac_frame`] on an explicit compute pool, recycling every hot-path
+/// buffer through `arena`. Bit-identical to [`run_isac_frame`] for any pool
+/// size; after warm-up, stages 2–4 run allocation-free (see [`FrameArena`]).
+pub fn run_isac_frame_with(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+    arena: &FrameArena,
+) -> IsacOutcome {
+    let synth = synthesize_frame(sys, scenario, payload, seed);
+    let mut if_slab: Lease<SampleSlab> = arena.if_slabs.take_or(SampleSlab::new);
+    dechirp_stage_into(pool, sys, &synth.train, &synth.scene, seed, &mut if_slab);
+    let mut pair: Lease<AlignedPair> = arena.aligned.take_or(AlignedPair::default);
+    align_stage_into(pool, sys, &synth.train, &*if_slab, &mut pair);
+    drop(if_slab);
+    let mut map: Lease<RangeDopplerMap> = arena.maps.take_or(RangeDopplerMap::default);
+    doppler_stage_into(pool, &pair, &mut map);
+    let mut mean_power: Lease<Vec<f64>> = arena.scratch.take_or(Vec::new);
+    detect_stage_with(scenario, &pair, &map, synth.downlink, &mut mean_power)
 }
 
 #[cfg(test)]

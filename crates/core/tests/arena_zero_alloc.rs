@@ -1,0 +1,98 @@
+//! Steady-state allocation audit for the arena frame path.
+//!
+//! DESIGN.md §10 claims that after warm-up, the frame hot path — dechirp →
+//! align → doppler, stages 2–4 — performs **no heap allocation** on a
+//! 1-thread pool: sample slabs, profile rows, power slabs, and all FFT /
+//! resample scratch are recycled through the [`FrameArena`] and thread-local
+//! caches. This test enforces the claim with a counting global allocator:
+//! two warm-up frames size every buffer, then a third frame must allocate
+//! exactly zero times on the measuring thread.
+//!
+//! The counter is thread-local, so the (single) test is immune to allocator
+//! traffic from the harness's other threads. This file must keep exactly one
+//! `#[test]` for that isolation to stay meaningful.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use biscatter_compute::ComputePool;
+use biscatter_core::isac::{
+    align_stage_into, dechirp_stage_into, doppler_stage_into, synthesize_frame, warm_dsp_plans,
+    AlignedPair, FrameArena, IsacScenario,
+};
+use biscatter_core::system::BiScatterSystem;
+use biscatter_radar::receiver::doppler::RangeDopplerMap;
+use biscatter_rf::slab::SampleSlab;
+
+thread_local! {
+    /// `-1` = not counting; `>= 0` = allocations observed on this thread.
+    static ALLOCS: Cell<isize> = const { Cell::new(-1) };
+}
+
+struct CountingAlloc;
+
+// The counting wrapper defers everything to `System`; it only bumps the
+// thread-local counter when the measuring window is open.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+fn count_one() {
+    // `try_with` so allocations during thread teardown can't panic.
+    let _ = ALLOCS.try_with(|c| {
+        let v = c.get();
+        if v >= 0 {
+            c.set(v + 1);
+        }
+    });
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_frame_stages_allocate_nothing() {
+    let pool = ComputePool::new(1);
+    let sys = BiScatterSystem::paper_9ghz();
+    let scenario = IsacScenario::single_tag(3.0, 16.0 / (128.0 * 120e-6)).with_office_clutter();
+    let synth = synthesize_frame(&sys, &scenario, b"CMD1", 7);
+    let arena = FrameArena::default();
+    warm_dsp_plans(&sys);
+
+    let run_frame = |seed: u64| {
+        let mut slab = arena.if_slabs.take_or(SampleSlab::new);
+        dechirp_stage_into(&pool, &sys, &synth.train, &synth.scene, seed, &mut slab);
+        let mut pair = arena.aligned.take_or(AlignedPair::default);
+        align_stage_into(&pool, &sys, &synth.train, &*slab, &mut pair);
+        drop(slab);
+        let mut map = arena.maps.take_or(RangeDopplerMap::default);
+        doppler_stage_into(&pool, &pair, &mut map);
+        map.at(0, 0)
+    };
+
+    // Warm-up: sizes the arena buffers, thread-local scratch, plan caches,
+    // and the pool free lists (first lease drop grows each free list once).
+    let warm_a = run_frame(1);
+    let warm_b = run_frame(1);
+    assert_eq!(warm_a, warm_b, "warm-up frames must be deterministic");
+
+    // Measured steady-state frame.
+    ALLOCS.with(|c| c.set(0));
+    let measured = run_frame(1);
+    let n = ALLOCS.with(|c| c.replace(-1));
+    assert_eq!(measured, warm_b, "measured frame must match warm-up output");
+    assert_eq!(
+        n, 0,
+        "steady-state dechirp/align/doppler performed {n} heap allocations"
+    );
+}

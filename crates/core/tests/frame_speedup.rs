@@ -1,0 +1,73 @@
+//! Pooled-vs-serial frame latency check.
+//!
+//! The acceptance bar for the intra-frame parallel path is ≥ 1.8× speedup
+//! over the serial path for one frame's hot stages (dechirp → align →
+//! doppler) on a machine with at least 4 cores. On smaller machines the
+//! ratio is recorded (printed with `--nocapture`) but not asserted — a
+//! 1-thread pool degrades to the inline serial path, so there is nothing to
+//! win.
+
+use std::time::Instant;
+
+use biscatter_compute::ComputePool;
+use biscatter_core::isac::{
+    align_stage_into, dechirp_stage_into, doppler_stage_into, synthesize_frame, warm_dsp_plans,
+    AlignedPair, FrameArena, IsacScenario,
+};
+use biscatter_core::system::BiScatterSystem;
+use biscatter_radar::receiver::doppler::RangeDopplerMap;
+use biscatter_rf::slab::SampleSlab;
+
+fn time_frames(pool: &ComputePool, sys: &BiScatterSystem, reps: usize) -> (f64, f64) {
+    let scenario = IsacScenario::single_tag(3.0, 16.0 / (128.0 * 120e-6)).with_office_clutter();
+    let synth = synthesize_frame(sys, &scenario, b"CMD1", 7);
+    let arena = FrameArena::default();
+    let run_frame = |seed: u64| {
+        let mut slab = arena.if_slabs.take_or(SampleSlab::new);
+        dechirp_stage_into(pool, sys, &synth.train, &synth.scene, seed, &mut slab);
+        let mut pair = arena.aligned.take_or(AlignedPair::default);
+        align_stage_into(pool, sys, &synth.train, &*slab, &mut pair);
+        drop(slab);
+        let mut map = arena.maps.take_or(RangeDopplerMap::default);
+        doppler_stage_into(pool, &pair, &mut map);
+        map.at(0, 0)
+    };
+    // Warm-up frames populate arena buffers and per-thread plan caches.
+    let mut checksum = 0.0;
+    for _ in 0..2 {
+        checksum = run_frame(1);
+    }
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        assert_eq!(run_frame(1), checksum, "reps must be bit-identical");
+    }
+    (t0.elapsed().as_secs_f64() / reps as f64, checksum)
+}
+
+#[test]
+fn pooled_frame_meets_speedup_target_on_multicore() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sys = BiScatterSystem::paper_9ghz();
+    warm_dsp_plans(&sys);
+
+    let reps = 5;
+    let serial = ComputePool::new(1);
+    let pooled = ComputePool::new(cores.min(8));
+    let (t_serial, sum_serial) = time_frames(&serial, &sys, reps);
+    let (t_pooled, sum_pooled) = time_frames(&pooled, &sys, reps);
+    assert_eq!(sum_serial, sum_pooled, "pooled output diverged from serial");
+
+    let speedup = t_serial / t_pooled;
+    println!(
+        "frame stages 2-4: serial {:.2} ms, pooled({} threads) {:.2} ms, speedup {speedup:.2}x on {cores} cores",
+        t_serial * 1e3,
+        pooled.threads(),
+        t_pooled * 1e3,
+    );
+    if cores >= 4 {
+        assert!(
+            speedup >= 1.8,
+            "pooled frame path only {speedup:.2}x faster than serial on {cores} cores (need >= 1.8x)"
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Reusable buffer pools for the zero-allocation frame path.
+//!
+//! Steady-state frame processing must not touch the heap (DESIGN.md §10):
+//! every large intermediate — IF sample slabs, aligned profiles,
+//! range–Doppler maps — is checked out of a [`Pool`] as a [`Lease`] and
+//! returned automatically on drop. The first few frames populate the free
+//! lists (warm-up); after that every checkout is a `Vec::pop` and every
+//! return a `Vec::push` within existing capacity.
+//!
+//! Pools are `Arc`-internal and thread-safe, so leases can flow through the
+//! runtime pipeline's queues and be returned from a different thread than
+//! the one that checked them out.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
+
+struct PoolInner<T> {
+    free: Mutex<Vec<T>>,
+}
+
+/// A free-list of reusable `T` values. Cloning the pool clones the handle,
+/// not the buffers — all clones share one free list.
+pub struct Pool<T> {
+    inner: Arc<PoolInner<T>>,
+}
+
+impl<T> Clone for Pool<T> {
+    fn clone(&self) -> Self {
+        Pool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Pool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("idle", &self.idle()).finish()
+    }
+}
+
+impl<T> Pool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Pool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Checks a value out of the free list, or builds one with `make` when
+    /// the list is empty (the warm-up path). The lease returns the value to
+    /// this pool when dropped.
+    pub fn take_or(&self, make: impl FnOnce() -> T) -> Lease<T> {
+        let value = self.inner.free.lock().unwrap().pop();
+        Lease {
+            value: Some(value.unwrap_or_else(make)),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of values currently sitting in the free list.
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().unwrap().len()
+    }
+}
+
+/// An exclusively-owned value checked out of a [`Pool`]; dereferences to
+/// `T` and returns the value to its pool on drop.
+pub struct Lease<T> {
+    value: Option<T>,
+    pool: Arc<PoolInner<T>>,
+}
+
+impl<T> Lease<T> {
+    /// Detaches the value from its pool (it will not be returned).
+    pub fn into_inner(mut self) -> T {
+        self.value.take().expect("lease already emptied")
+    }
+}
+
+impl<T> Deref for Lease<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("lease already emptied")
+    }
+}
+
+impl<T> DerefMut for Lease<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("lease already emptied")
+    }
+}
+
+impl<T> Drop for Lease<T> {
+    fn drop(&mut self) {
+        if let Some(value) = self.value.take() {
+            self.pool.free.lock().unwrap().push(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_returns_on_drop() {
+        let pool: Pool<Vec<f64>> = Pool::new();
+        assert_eq!(pool.idle(), 0);
+        {
+            let mut a = pool.take_or(|| vec![0.0; 8]);
+            a[0] = 1.0;
+        }
+        assert_eq!(pool.idle(), 1);
+        // Second checkout reuses the same buffer (contents preserved —
+        // callers must clear/overwrite).
+        let b = pool.take_or(|| vec![0.0; 99]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b[0], 1.0);
+    }
+
+    #[test]
+    fn into_inner_detaches() {
+        let pool: Pool<Vec<u8>> = Pool::new();
+        let v = pool.take_or(|| vec![1, 2, 3]).into_inner();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn clones_share_free_list() {
+        let pool: Pool<String> = Pool::new();
+        let clone = pool.clone();
+        drop(pool.take_or(|| "x".to_string()));
+        assert_eq!(clone.idle(), 1);
+        let got = clone.take_or(|| "y".to_string());
+        assert_eq!(&*got, "x");
+    }
+
+    #[test]
+    fn leases_cross_threads() {
+        let pool: Pool<Vec<f64>> = Pool::new();
+        let lease = pool.take_or(|| vec![7.0; 4]);
+        let pool2 = pool.clone();
+        std::thread::spawn(move || drop(lease)).join().unwrap();
+        assert_eq!(pool2.idle(), 1);
+    }
+}

@@ -16,6 +16,7 @@
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`arena`] | reusable buffer pools (`Pool`/`Lease`) for the zero-allocation frame path |
 //! | [`complex`] | `Cpx` complex number type and arithmetic |
 //! | [`fft`] | radix-2 Cooley–Tukey and Bluestein FFT/IFFT, real-input helper |
 //! | [`planner`] | cached FFT plans, in-place/scratch APIs, packed real FFT |
@@ -31,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod complex;
 pub mod fft;
 pub mod filter;

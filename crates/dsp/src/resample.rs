@@ -52,6 +52,49 @@ pub fn resample_to_grid(src_grid: &[f64], values: &[f64], dst_grid: &[f64]) -> V
         .collect()
 }
 
+/// Complex-valued variant of [`resample_to_grid`] writing into a reusable
+/// output buffer (cleared first): resamples `values` on `src_grid` onto
+/// `dst_grid`, interpolating real and imaginary parts independently with
+/// exactly the same bracketing and weights as the real version. Component
+/// for component it performs the identical floating-point operations, so a
+/// caller that previously split a complex profile into two real resamples
+/// gets bit-identical results from this fused path.
+///
+/// # Panics
+/// Panics if `src_grid` and `values` lengths differ.
+pub fn resample_to_grid_cpx_into(
+    src_grid: &[f64],
+    values: &[crate::complex::Cpx],
+    dst_grid: &[f64],
+    out: &mut Vec<crate::complex::Cpx>,
+) {
+    use crate::complex::Cpx;
+    assert_eq!(src_grid.len(), values.len(), "grid/value length mismatch");
+    out.clear();
+    out.reserve(dst_grid.len());
+    if src_grid.is_empty() {
+        out.resize(dst_grid.len(), Cpx::ZERO);
+        return;
+    }
+    for &x in dst_grid {
+        let v = match src_grid.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) => values[i],
+            Err(0) => values[0],
+            Err(i) if i >= src_grid.len() => values[values.len() - 1],
+            Err(i) => {
+                let x0 = src_grid[i - 1];
+                let x1 = src_grid[i];
+                let t = (x - x0) / (x1 - x0);
+                // Same formula as the real-valued path, applied per
+                // component: a*(1-t) + b*t.
+                let (a, b) = (values[i - 1], values[i]);
+                Cpx::new(a.re * (1.0 - t) + b.re * t, a.im * (1.0 - t) + b.im * t)
+            }
+        };
+        out.push(v);
+    }
+}
+
 /// Builds a uniform grid of `n` points spanning `[start, stop]` inclusive.
 pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
     match n {

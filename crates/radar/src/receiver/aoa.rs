@@ -120,11 +120,10 @@ mod tests {
             noise_sigma: 0.01,
         };
         let mut noise = NoiseSource::new(seed);
-        let per_rx = rx.dechirp_train_array(&train, scene, 0.0, n_rx, SPACING, &mut noise);
+        let capture = rx.dechirp_train_array(&train, scene, 0.0, n_rx, SPACING, &mut noise);
         let cfg = RxConfig::default();
-        per_rx
-            .iter()
-            .map(|if_data| align_frame(&cfg, &train, if_data))
+        (0..capture.n_rx())
+            .map(|k| align_frame(&cfg, &train, &capture.rx_view(k)))
             .collect()
     }
 

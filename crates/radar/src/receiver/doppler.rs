@@ -8,24 +8,79 @@
 //! structure the paper notes in §3.3).
 
 use super::AlignedFrame;
+use biscatter_compute::ComputePool;
 use biscatter_dsp::complex::Cpx;
 use biscatter_dsp::planner::with_planner;
 use biscatter_dsp::window::WindowKind;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// A range–Doppler (range–modulation) power map.
+///
+/// Power lives in one row-major slab (`n_doppler × n_range`) instead of the
+/// seed's `Vec<Vec<f64>>`, and the range grid is shared with the source
+/// [`AlignedFrame`] through an `Arc` instead of cloned per map.
 #[derive(Debug, Clone)]
 pub struct RangeDopplerMap {
-    /// `power[doppler_bin][range_bin]`.
-    pub power: Vec<Vec<f64>>,
-    /// The range grid, metres.
-    pub range_grid: Vec<f64>,
+    /// Row-major `[doppler_bin][range_bin]` power slab.
+    power: Vec<f64>,
+    /// The range grid, metres (shared with the aligned frame).
+    pub range_grid: Arc<[f64]>,
     /// Slow-time FFT length (number of Doppler bins).
     pub n_doppler: usize,
     /// Chirp period, s.
     pub t_period: f64,
 }
 
+impl Default for RangeDopplerMap {
+    fn default() -> Self {
+        RangeDopplerMap {
+            power: Vec::new(),
+            range_grid: Vec::new().into(),
+            n_doppler: 0,
+            t_period: 0.0,
+        }
+    }
+}
+
 impl RangeDopplerMap {
+    /// Builds a map from a row-major power slab; `power.len()` must be
+    /// `n_doppler * range_grid.len()`.
+    pub fn from_flat(
+        power: Vec<f64>,
+        range_grid: Arc<[f64]>,
+        n_doppler: usize,
+        t_period: f64,
+    ) -> Self {
+        assert_eq!(
+            power.len(),
+            n_doppler * range_grid.len(),
+            "power slab must be n_doppler x n_range"
+        );
+        RangeDopplerMap {
+            power,
+            range_grid,
+            n_doppler,
+            t_period,
+        }
+    }
+
+    /// Number of range bins per Doppler row.
+    pub fn n_range(&self) -> usize {
+        self.range_grid.len()
+    }
+
+    /// Power at Doppler bin `d`, range bin `r`.
+    pub fn at(&self, d: usize, r: usize) -> f64 {
+        self.power[d * self.n_range() + r]
+    }
+
+    /// Overwrites the power at Doppler bin `d`, range bin `r`.
+    pub fn set(&mut self, d: usize, r: usize, value: f64) {
+        let n_range = self.n_range();
+        self.power[d * n_range + r] = value;
+    }
+
     /// Modulation frequency of Doppler bin `k` (bins above `n/2` are
     /// negative frequencies).
     pub fn doppler_freq(&self, k: usize) -> f64 {
@@ -41,7 +96,8 @@ impl RangeDopplerMap {
 
     /// The power-vs-range slice at Doppler bin `k`.
     pub fn range_slice(&self, k: usize) -> &[f64] {
-        &self.power[k]
+        let n_range = self.n_range();
+        &self.power[k * n_range..(k + 1) * n_range]
     }
 
     /// Sums power over a small window of Doppler bins around `center`
@@ -49,10 +105,10 @@ impl RangeDopplerMap {
     pub fn range_slice_banded(&self, center: usize, half_width: usize) -> Vec<f64> {
         let lo = center.saturating_sub(half_width);
         let hi = (center + half_width).min(self.n_doppler / 2);
-        let n_range = self.range_grid.len();
+        let n_range = self.n_range();
         let mut out = vec![0.0; n_range];
-        for row in &self.power[lo..=hi] {
-            for (o, &p) in out.iter_mut().zip(row) {
+        for k in lo..=hi {
+            for (o, &p) in out.iter_mut().zip(self.range_slice(k)) {
                 *o += p;
             }
         }
@@ -62,39 +118,69 @@ impl RangeDopplerMap {
 
 /// Computes the range–Doppler map of an aligned frame. A Hann window is
 /// applied along slow time to contain leakage from the strong static clutter
-/// at 0 Hz.
+/// at 0 Hz. Convenience wrapper over [`range_doppler_into`] on the global
+/// compute pool.
 pub fn range_doppler(frame: &AlignedFrame) -> RangeDopplerMap {
+    let mut out = RangeDopplerMap::default();
+    range_doppler_into(ComputePool::global(), frame, &mut out);
+    out
+}
+
+thread_local! {
+    /// Per-thread slow-time column buffer for the in-place Doppler FFT.
+    static COLUMN: RefCell<Vec<Cpx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// [`range_doppler`] on an explicit pool, recycling `out`'s power slab.
+///
+/// Range columns are split into contiguous bands across the pool; each
+/// column is an independent gather → FFT → |·|² with a fixed operation
+/// order, so the parallel map is bit-identical to the serial one. Steady
+/// state reuses the slab, the shared grid `Arc`, and per-thread column
+/// buffers — no allocation per frame.
+pub fn range_doppler_into(pool: &ComputePool, frame: &AlignedFrame, out: &mut RangeDopplerMap) {
     let n_chirps = frame.n_chirps();
     let n_range = frame.range_grid.len();
     let n_doppler = biscatter_dsp::fft::next_pow2(n_chirps);
-    let window = WindowKind::Hann.cached(n_chirps);
 
-    // One plan for all range bins: every slow-time column is the same
-    // power-of-two length, so the transform runs in place on a single reused
-    // column buffer with no per-column allocation.
-    let mut power = vec![vec![0.0f64; n_range]; n_doppler];
-    let plan = with_planner(|p| p.plan(n_doppler));
-    let mut column = vec![Cpx::ZERO; n_doppler];
-    for r in 0..n_range {
-        for (c, z) in column.iter_mut().enumerate().take(n_doppler) {
-            *z = if c < n_chirps {
-                frame.profiles[c][r] * window.coeffs[c]
-            } else {
-                Cpx::ZERO
-            };
-        }
-        plan.process(&mut column);
-        for (row, z) in power.iter_mut().zip(&column) {
-            row[r] = z.norm_sq();
-        }
+    out.n_doppler = n_doppler;
+    out.t_period = frame.t_period;
+    if !Arc::ptr_eq(&out.range_grid, &frame.range_grid) {
+        out.range_grid = Arc::clone(&frame.range_grid);
     }
+    out.power.clear();
+    out.power.resize(n_doppler * n_range, 0.0);
 
-    RangeDopplerMap {
-        power,
-        range_grid: frame.range_grid.clone(),
-        n_doppler,
-        t_period: frame.t_period,
-    }
+    // Bands of at least 8 columns, at most ~4 per pool thread, so work stays
+    // balanced without shredding cache lines at band boundaries.
+    let col_chunk = n_range
+        .div_ceil(4 * pool.threads())
+        .clamp(8, n_range.max(8));
+    let profiles = &frame.profiles;
+    pool.par_columns(&mut out.power, n_doppler, n_range, col_chunk, |band| {
+        // Window and plan come from per-thread caches; looked up inside the
+        // closure because both are `Rc`-based and must not cross threads.
+        let window = WindowKind::Hann.cached(n_chirps);
+        let plan = with_planner(|p| p.plan(n_doppler));
+        COLUMN.with(|col| {
+            let mut column = col.borrow_mut();
+            column.clear();
+            column.resize(n_doppler, Cpx::ZERO);
+            for r in band.cols() {
+                for (c, z) in column.iter_mut().enumerate() {
+                    *z = if c < n_chirps {
+                        profiles[c][r] * window.coeffs[c]
+                    } else {
+                        Cpx::ZERO
+                    };
+                }
+                plan.process(&mut column);
+                for (d, z) in column.iter().enumerate() {
+                    band.set(d, r, z.norm_sq());
+                }
+            }
+        });
+    });
 }
 
 #[cfg(test)]
@@ -168,9 +254,9 @@ mod tests {
         // DC bin (0) should hold nothing after background subtraction, and
         // mid-band bins should be noise-level.
         let mid = map.n_doppler / 4;
-        let p_mid = map.power[mid][idx];
-        map.power[0][idx] = 0.0;
-        let total_off_dc: f64 = (2..map.n_doppler / 2).map(|d| map.power[d][idx]).sum();
+        let p_mid = map.at(mid, idx);
+        map.set(0, idx, 0.0);
+        let total_off_dc: f64 = (2..map.n_doppler / 2).map(|d| map.at(d, idx)).sum();
         assert!(p_mid < 1e-3, "static target leaked to mid-band: {p_mid}");
         assert!(total_off_dc < 1e-2, "off-DC energy {total_off_dc}");
     }
@@ -184,7 +270,7 @@ mod tests {
         let idx = grid_index(&map, 4.0);
         // Find the strongest non-DC Doppler bin at the mover's range.
         let (best, _) = (1..map.n_doppler / 2)
-            .map(|d| (d, map.power[d][idx]))
+            .map(|d| (d, map.at(d, idx)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
         let f_est = map.doppler_freq(best);
@@ -213,12 +299,8 @@ mod tests {
 
     #[test]
     fn doppler_freq_bins() {
-        let map = RangeDopplerMap {
-            power: vec![vec![0.0; 4]; 8],
-            range_grid: vec![0.0, 1.0, 2.0, 3.0],
-            n_doppler: 8,
-            t_period: 1e-3,
-        };
+        let map =
+            RangeDopplerMap::from_flat(vec![0.0; 32], vec![0.0, 1.0, 2.0, 3.0].into(), 8, 1e-3);
         assert_eq!(map.doppler_freq(0), 0.0);
         assert!((map.doppler_freq(1) - 125.0).abs() < 1e-9);
         assert!(map.doppler_freq(7) < 0.0);

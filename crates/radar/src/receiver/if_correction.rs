@@ -10,14 +10,21 @@
 
 use super::range_profile::bin_freq;
 use biscatter_dsp::complex::Cpx;
-use biscatter_dsp::resample::resample_to_grid;
+use biscatter_dsp::resample::resample_to_grid_cpx_into;
 use biscatter_rf::chirp::Chirp;
+use std::cell::RefCell;
 
 /// The range (metres) of each half-spectrum bin for a given chirp.
 pub fn bin_ranges(chirp: &Chirp, fs: f64, n_fft: usize, n_bins: usize) -> Vec<f64> {
-    (0..n_bins)
-        .map(|k| chirp.range_for_beat_freq(bin_freq(k, n_fft, fs)))
-        .collect()
+    let mut out = Vec::new();
+    bin_ranges_into(chirp, fs, n_fft, n_bins, &mut out);
+    out
+}
+
+/// [`bin_ranges`] writing into a reusable buffer (cleared first).
+pub fn bin_ranges_into(chirp: &Chirp, fs: f64, n_fft: usize, n_bins: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend((0..n_bins).map(|k| chirp.range_for_beat_freq(bin_freq(k, n_fft, fs))));
 }
 
 /// Resamples a complex half-spectrum onto the common `grid` (metres),
@@ -29,15 +36,34 @@ pub fn to_range_grid(
     n_fft: usize,
     grid: &[f64],
 ) -> Vec<Cpx> {
-    let src = bin_ranges(chirp, fs, n_fft, profile.len());
-    let re: Vec<f64> = profile.iter().map(|z| z.re).collect();
-    let im: Vec<f64> = profile.iter().map(|z| z.im).collect();
-    let re_g = resample_to_grid(&src, &re, grid);
-    let im_g = resample_to_grid(&src, &im, grid);
-    re_g.into_iter()
-        .zip(im_g)
-        .map(|(r, i)| Cpx::new(r, i))
-        .collect()
+    let mut out = Vec::new();
+    to_range_grid_into(profile, chirp, fs, n_fft, grid, &mut out);
+    out
+}
+
+thread_local! {
+    /// Per-thread scratch for the source bin-range axis, so per-chirp
+    /// correction in a frame loop allocates nothing in steady state.
+    static BIN_RANGES: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// [`to_range_grid`] writing into a reusable buffer. The interpolation runs
+/// on the complex samples directly but performs bit-identical arithmetic to
+/// resampling the real and imaginary parts separately (see
+/// [`resample_to_grid_cpx_into`]).
+pub fn to_range_grid_into(
+    profile: &[Cpx],
+    chirp: &Chirp,
+    fs: f64,
+    n_fft: usize,
+    grid: &[f64],
+    out: &mut Vec<Cpx>,
+) {
+    BIN_RANGES.with(|src| {
+        let mut src = src.borrow_mut();
+        bin_ranges_into(chirp, fs, n_fft, profile.len(), &mut src);
+        resample_to_grid_cpx_into(&src, profile, grid, out);
+    });
 }
 
 #[cfg(test)]

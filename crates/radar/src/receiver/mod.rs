@@ -27,9 +27,13 @@ pub mod range_profile;
 pub mod uplink;
 pub mod velocity;
 
+use biscatter_compute::ComputePool;
 use biscatter_dsp::complex::Cpx;
 use biscatter_dsp::resample::linspace;
 use biscatter_rf::frame::ChirpTrain;
+use biscatter_rf::slab::ChirpRows;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Receiver processing configuration.
 #[derive(Debug, Clone)]
@@ -81,10 +85,21 @@ impl RxConfig {
 pub struct AlignedFrame {
     /// `profiles[chirp][range_bin]`, complex.
     pub profiles: Vec<Vec<Cpx>>,
-    /// The common range grid, metres.
-    pub range_grid: Vec<f64>,
+    /// The common range grid, metres. Shared (`Arc`) so downstream products
+    /// like the range–Doppler map reference it instead of cloning.
+    pub range_grid: Arc<[f64]>,
     /// Chirp slot period, s (slow-time sample interval).
     pub t_period: f64,
+}
+
+impl Default for AlignedFrame {
+    fn default() -> Self {
+        AlignedFrame {
+            profiles: Vec::new(),
+            range_grid: Vec::new().into(),
+            t_period: 0.0,
+        }
+    }
 }
 
 impl AlignedFrame {
@@ -107,48 +122,110 @@ impl AlignedFrame {
 /// Runs steps 2–4 of the chain: per-chirp range FFT, IF correction onto the
 /// common grid, optional background subtraction.
 ///
-/// `if_per_chirp[i]` are the dechirped samples of chirp `i` of `train`.
-pub fn align_frame(cfg: &RxConfig, train: &ChirpTrain, if_per_chirp: &[Vec<f64>]) -> AlignedFrame {
+/// `if_per_chirp.row(i)` are the dechirped samples of chirp `i` of `train`
+/// (any [`ChirpRows`] container: nested `Vec`s, a `SampleSlab`, or one
+/// antenna's view of an `ArrayCapture`). Convenience wrapper over
+/// [`align_frame_into`] running on the global compute pool.
+pub fn align_frame<R: ChirpRows + ?Sized>(
+    cfg: &RxConfig,
+    train: &ChirpTrain,
+    if_per_chirp: &R,
+) -> AlignedFrame {
+    let mut out = AlignedFrame::default();
+    align_frame_into(ComputePool::global(), cfg, train, if_per_chirp, &mut out);
+    out
+}
+
+thread_local! {
+    /// Per-thread half-spectrum scratch shared by every chirp a worker
+    /// aligns, so steady-state alignment allocates nothing.
+    static SPECTRUM: RefCell<Vec<Cpx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// [`align_frame`] on an explicit pool, recycling `out`'s buffers.
+///
+/// Chirps fan out across `pool` (each is an independent FFT + resample
+/// writing its own profile row, so the parallel result is bit-identical to
+/// the serial loop); the background subtraction stays serial. The range grid
+/// `Arc` and the per-chirp profile vectors are reused across calls, which
+/// makes repeated frames allocation-free in steady state.
+pub fn align_frame_into<R: ChirpRows + ?Sized>(
+    pool: &ComputePool,
+    cfg: &RxConfig,
+    train: &ChirpTrain,
+    if_per_chirp: &R,
+    out: &mut AlignedFrame,
+) {
     assert_eq!(
         train.len(),
-        if_per_chirp.len(),
+        if_per_chirp.n_rows(),
         "one IF capture per chirp required"
     );
-    let grid = cfg.range_grid();
-    let mut profiles: Vec<Vec<Cpx>> = Vec::with_capacity(train.len());
-    for (slot, samples) in train.slots().iter().zip(if_per_chirp) {
-        let spectrum = range_profile::complex_profile(samples, cfg.n_fft);
-        let profile = if cfg.if_correction {
-            if_correction::to_range_grid(
-                &spectrum,
-                &slot.chirp,
-                cfg.if_sample_rate,
-                cfg.n_fft,
-                &grid,
-            )
-        } else {
-            // Uncorrected: reinterpret raw bins as if they were the grid
-            // (truncate/pad), reproducing the paper's Fig. 7(a) ambiguity.
-            let mut p: Vec<Cpx> = spectrum.iter().take(grid.len()).copied().collect();
-            p.resize(grid.len(), Cpx::ZERO);
-            p
-        };
-        profiles.push(profile);
+    // Reuse the existing grid Arc when it still matches the config: a
+    // linspace grid is fully determined by (first, last, len). The expected
+    // last element replays linspace's own arithmetic so the comparison is
+    // exact without building a throwaway grid.
+    let expected_last = if cfg.n_range_bins > 1 {
+        let step = cfg.max_range_m / (cfg.n_range_bins - 1) as f64;
+        step * (cfg.n_range_bins - 1) as f64
+    } else {
+        0.0
+    };
+    let reusable = cfg.n_range_bins > 0
+        && out.range_grid.len() == cfg.n_range_bins
+        && out.range_grid.first() == Some(&0.0)
+        && out.range_grid.last() == Some(&expected_last);
+    if !reusable {
+        out.range_grid = cfg.range_grid().into();
     }
+    out.profiles.resize_with(train.len(), Vec::new);
 
-    if cfg.background_subtraction && !profiles.is_empty() {
-        let reference = profiles[0].clone();
-        for p in profiles.iter_mut() {
-            for (v, r) in p.iter_mut().zip(&reference) {
+    let grid: &[f64] = &out.range_grid;
+    let slots = train.slots();
+    pool.par_chunks(&mut out.profiles, 1, |c, row| {
+        let samples = if_per_chirp.row(c);
+        SPECTRUM.with(|spec| {
+            let mut spectrum = spec.borrow_mut();
+            range_profile::complex_profile_into(samples, cfg.n_fft, &mut spectrum);
+            let profile = &mut row[0];
+            if cfg.if_correction {
+                if_correction::to_range_grid_into(
+                    &spectrum,
+                    &slots[c].chirp,
+                    cfg.if_sample_rate,
+                    cfg.n_fft,
+                    grid,
+                    profile,
+                );
+            } else {
+                // Uncorrected: reinterpret raw bins as if they were the grid
+                // (truncate/pad), reproducing the paper's Fig. 7(a) ambiguity.
+                profile.clear();
+                profile.extend(spectrum.iter().take(grid.len()));
+                profile.resize(grid.len(), Cpx::ZERO);
+            }
+        });
+    });
+
+    if cfg.background_subtraction && !out.profiles.is_empty() {
+        // The seed cloned row 0 and subtracted it from every row including
+        // itself; split the borrow instead and self-subtract row 0 in place
+        // (x - x is the same operation bit for bit, no clone needed).
+        let (first, rest) = out.profiles.split_at_mut(1);
+        let reference = &first[0];
+        for p in rest.iter_mut() {
+            for (v, r) in p.iter_mut().zip(reference.iter()) {
                 *v -= *r;
             }
         }
+        // Not `*v = 0.0`: x - x keeps IEEE semantics (+0.0 sign, NaN
+        // propagation) identical to the seed's clone-then-subtract.
+        #[allow(clippy::eq_op)]
+        for v in first[0].iter_mut() {
+            let x = *v;
+            *v = x - x;
+        }
     }
 
-    let t_period = train.slots().first().map_or(0.0, |s| s.period());
-    AlignedFrame {
-        profiles,
-        range_grid: grid,
-        t_period,
-    }
+    out.t_period = train.slots().first().map_or(0.0, |s| s.period());
 }

@@ -15,16 +15,29 @@ use biscatter_dsp::window::WindowKind;
 /// Complex half-spectrum (bins `0..n_fft/2 + 1`) of one chirp's IF samples,
 /// amplitude-normalized as described in the module docs.
 ///
+/// Convenience wrapper over [`complex_profile_into`] that allocates the
+/// returned profile; frame loops should pass a reusable buffer to the
+/// `_into` variant instead.
+pub fn complex_profile(if_samples: &[f64], n_fft: usize) -> Vec<Cpx> {
+    let mut out = Vec::new();
+    complex_profile_into(if_samples, n_fft, &mut out);
+    out
+}
+
+/// [`complex_profile`] writing into a reusable buffer (cleared and resized
+/// to `n_fft/2 + 1`).
+///
 /// The IF samples are real, so the transform runs the planner's packed
 /// real-input plan (half the work of the complex FFT the seed used), with
 /// the window coefficients and the padded buffer both coming from
-/// thread-local caches — per-chirp calls in a frame loop allocate only the
-/// returned profile.
-pub fn complex_profile(if_samples: &[f64], n_fft: usize) -> Vec<Cpx> {
+/// thread-local caches — steady-state calls perform no allocation at all.
+pub fn complex_profile_into(if_samples: &[f64], n_fft: usize, out: &mut Vec<Cpx>) {
     let n = if_samples.len();
     let n_fft = next_pow2(n_fft.max(n));
     if n == 0 {
-        return vec![Cpx::ZERO; n_fft / 2 + 1];
+        out.clear();
+        out.resize(n_fft / 2 + 1, Cpx::ZERO);
+        return;
     }
     let win = WindowKind::Hann.cached(n);
     let norm = 1.0 / (n as f64 * win.coherent_gain);
@@ -33,14 +46,12 @@ pub fn complex_profile(if_samples: &[f64], n_fft: usize) -> Vec<Cpx> {
             for ((b, &s), &w) in buf.iter_mut().zip(if_samples).zip(&win.coeffs) {
                 *b = s * w;
             }
-            let mut spec = Vec::new();
-            p.rfft_half_into(buf, &mut spec);
-            for z in spec.iter_mut() {
+            p.rfft_half_into(buf, out);
+            for z in out.iter_mut() {
                 *z = z.scale(norm);
             }
-            spec
         })
-    })
+    });
 }
 
 /// Power profile (|X|²) of the half spectrum.

@@ -85,7 +85,7 @@ pub fn detect_movers(
             if f.abs() > max_dopp {
                 break;
             }
-            let p = map.power[d][r];
+            let p = map.at(d, r);
             if p > best.1 {
                 best = (d, p);
             }

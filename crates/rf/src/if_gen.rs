@@ -21,8 +21,12 @@
 //! the per-sample amplitude evaluation entirely — together the dominant cost
 //! of frame synthesis in clutter-rich scenes.
 
+use std::cell::RefCell;
+
 use crate::chirp::Chirp;
 use crate::scene::{Scatterer, Scene, TagModulation};
+use crate::slab::{ArrayCapture, SampleSlab};
+use biscatter_compute::ComputePool;
 use biscatter_dsp::signal::NoiseSource;
 use biscatter_dsp::{Cpx, SPEED_OF_LIGHT, TAU};
 
@@ -118,6 +122,67 @@ fn modulated_amplitudes<'a>(
     Some(amps)
 }
 
+thread_local! {
+    /// Per-thread amplitude scratch for modulated scatterers, so parallel
+    /// chirp synthesis neither shares a buffer nor allocates per chirp.
+    static AMPS: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with an `n`-sample thread-local scratch buffer (contents
+/// unspecified; every consumer overwrites before reading).
+fn with_amps<R>(n: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    AMPS.with(|cell| {
+        let mut amps = cell.borrow_mut();
+        if amps.len() < n {
+            amps.resize(n, 0.0);
+        }
+        f(&mut amps[..n])
+    })
+}
+
+/// Synthesizes one chirp's noiseless IF signal into `out` (assumed zeroed):
+/// the sum of every scatterer's oscillator tone, in scene order. Pure —
+/// consumes no RNG state — so chirps can be synthesized in any order (or in
+/// parallel) and still produce bit-identical samples.
+fn synth_chirp(out: &mut [f64], chirp: &Chirp, scene: &Scene, fs: f64, t_start: f64) {
+    with_amps(out.len(), |amps| {
+        for s in &scene.scatterers {
+            let Some((phase0, rot)) = scatterer_tone(s, chirp, fs, t_start) else {
+                continue;
+            };
+            let amps = modulated_amplitudes(s, t_start, fs, &mut *amps);
+            accumulate_oscillator(out, Cpx::cis(phase0), rot, amps, s.amplitude);
+        }
+    });
+}
+
+/// [`synth_chirp`] for antenna `k` of a uniform linear array: each
+/// scatterer's starting phase gains `k · 2π d_λ sin θ` (the narrowband
+/// array model). Per-sample operations match the antenna-inner loop of the
+/// serial array dechirp exactly, so parallelizing over `(antenna, chirp)`
+/// keeps outputs bit-identical.
+fn synth_chirp_rx(
+    out: &mut [f64],
+    chirp: &Chirp,
+    scene: &Scene,
+    fs: f64,
+    t_start: f64,
+    k: usize,
+    spacing_wavelengths: f64,
+) {
+    with_amps(out.len(), |amps| {
+        for s in &scene.scatterers {
+            let Some((phase0, rot)) = scatterer_tone(s, chirp, fs, t_start) else {
+                continue;
+            };
+            let array_phase = TAU * spacing_wavelengths * s.azimuth_rad.sin();
+            let amps = modulated_amplitudes(s, t_start, fs, &mut *amps);
+            let ph0 = Cpx::cis(phase0 + k as f64 * array_phase);
+            accumulate_oscillator(out, ph0, rot, amps, s.amplitude);
+        }
+    });
+}
+
 /// IF receiver parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct IfReceiver {
@@ -145,18 +210,8 @@ impl IfReceiver {
         noise: &mut NoiseSource,
     ) -> Vec<f64> {
         let n = chirp.if_samples(self.sample_rate_hz);
-        let fs = self.sample_rate_hz;
         let mut out = vec![0.0f64; n];
-        let mut amps = vec![0.0f64; n];
-
-        for s in &scene.scatterers {
-            let Some((phase0, rot)) = scatterer_tone(s, chirp, fs, t_start) else {
-                continue;
-            };
-            let amps = modulated_amplitudes(s, t_start, fs, &mut amps);
-            accumulate_oscillator(&mut out, Cpx::cis(phase0), rot, amps, s.amplitude);
-        }
-
+        synth_chirp(&mut out, chirp, scene, self.sample_rate_hz, t_start);
         if self.noise_sigma > 0.0 {
             noise.add_awgn(&mut out, self.noise_sigma);
         }
@@ -178,22 +233,17 @@ impl IfReceiver {
         noise: &mut NoiseSource,
     ) -> Vec<Vec<f64>> {
         let n = chirp.if_samples(self.sample_rate_hz);
-        let fs = self.sample_rate_hz;
         let mut out = vec![vec![0.0f64; n]; n_rx];
-        let mut amps = vec![0.0f64; n];
-
-        for s in &scene.scatterers {
-            let Some((phase0, rot)) = scatterer_tone(s, chirp, fs, t_start) else {
-                continue;
-            };
-            let array_phase = TAU * spacing_wavelengths * s.azimuth_rad.sin();
-            // The modulation waveform is shared by every antenna, so it is
-            // evaluated once per scatterer, not once per (antenna, sample).
-            let amps = modulated_amplitudes(s, t_start, fs, &mut amps);
-            for (k, rx) in out.iter_mut().enumerate() {
-                let ph0 = Cpx::cis(phase0 + k as f64 * array_phase);
-                accumulate_oscillator(rx, ph0, rot, amps, s.amplitude);
-            }
+        for (k, rx) in out.iter_mut().enumerate() {
+            synth_chirp_rx(
+                rx,
+                chirp,
+                scene,
+                self.sample_rate_hz,
+                t_start,
+                k,
+                spacing_wavelengths,
+            );
         }
         if self.noise_sigma > 0.0 {
             for rx in out.iter_mut() {
@@ -203,8 +253,10 @@ impl IfReceiver {
         out
     }
 
-    /// Multi-antenna variant of [`IfReceiver::dechirp_train`]: returns
-    /// `captures[antenna][chirp]`.
+    /// Multi-antenna variant of [`IfReceiver::dechirp_train`]: returns the
+    /// whole capture as one rx-major `[rx][chirp][sample]` slab. Synthesis
+    /// fans out over the global [`ComputePool`]; see
+    /// [`IfReceiver::dechirp_train_array_into`].
     pub fn dechirp_train_array(
         &self,
         train: &crate::frame::ChirpTrain,
@@ -213,26 +265,77 @@ impl IfReceiver {
         n_rx: usize,
         spacing_wavelengths: f64,
         noise: &mut NoiseSource,
-    ) -> Vec<Vec<Vec<f64>>> {
-        let mut per_rx: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_rx];
-        for (t0, slot) in train.iter_timed() {
-            let per_antenna = self.dechirp_array(
-                &slot.chirp,
-                scene,
-                t_frame_start + t0,
-                n_rx,
-                spacing_wavelengths,
-                noise,
-            );
-            for (k, capture) in per_antenna.into_iter().enumerate() {
-                per_rx[k].push(capture);
+    ) -> ArrayCapture {
+        let mut out = ArrayCapture::new();
+        self.dechirp_train_array_into(
+            ComputePool::global(),
+            train,
+            scene,
+            t_frame_start,
+            n_rx,
+            spacing_wavelengths,
+            noise,
+            &mut out,
+        );
+        out
+    }
+
+    /// Synthesizes a multi-antenna capture into a reusable [`ArrayCapture`],
+    /// fanning the `n_rx × n_chirps` independent rows out across `pool`.
+    ///
+    /// Bit-identical to the serial chirp-by-chirp path: tone synthesis
+    /// consumes no RNG (each row's samples are the same floating-point ops
+    /// in the same order regardless of scheduling), and the stateful noise
+    /// source is applied afterwards on the caller thread in the serial
+    /// order — chirp-major, antenna-minor, exactly as the per-chirp
+    /// [`IfReceiver::dechirp_array`] loop would.
+    // One parameter per physical input; bundling them would just move the
+    // argument list into a struct literal at every call site.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dechirp_train_array_into(
+        &self,
+        pool: &ComputePool,
+        train: &crate::frame::ChirpTrain,
+        scene: &Scene,
+        t_frame_start: f64,
+        n_rx: usize,
+        spacing_wavelengths: f64,
+        noise: &mut NoiseSource,
+        out: &mut ArrayCapture,
+    ) {
+        let fs = self.sample_rate_hz;
+        let slots = train.slots();
+        let n_chirps = slots.len();
+        out.layout(n_rx, slots.iter().map(|s| s.chirp.if_samples(fs)));
+        {
+            let (offsets, data) = out.parts_mut();
+            pool.par_ragged(data, offsets, |row, samples| {
+                let (rx, c) = (row / n_chirps, row % n_chirps);
+                synth_chirp_rx(
+                    samples,
+                    &slots[c].chirp,
+                    scene,
+                    fs,
+                    t_frame_start + train.slot_start(c),
+                    rx,
+                    spacing_wavelengths,
+                );
+            });
+        }
+        if self.noise_sigma > 0.0 {
+            for c in 0..n_chirps {
+                for rx in 0..n_rx {
+                    noise.add_awgn(out.chirp_mut(rx, c), self.noise_sigma);
+                }
             }
         }
-        per_rx
     }
 
     /// Generates IF samples for every chirp of a train (absolute-time
-    /// aligned), returning one `Vec` per chirp.
+    /// aligned), returning one `Vec` per chirp. Synthesis fans out over the
+    /// global [`ComputePool`]; bit-identical to the sequential per-chirp
+    /// path (tone synthesis is RNG-free, noise is added serially in chirp
+    /// order afterwards).
     pub fn dechirp_train(
         &self,
         train: &crate::frame::ChirpTrain,
@@ -240,10 +343,62 @@ impl IfReceiver {
         t_frame_start: f64,
         noise: &mut NoiseSource,
     ) -> Vec<Vec<f64>> {
-        train
-            .iter_timed()
-            .map(|(t0, slot)| self.dechirp(&slot.chirp, scene, t_frame_start + t0, noise))
-            .collect()
+        let fs = self.sample_rate_hz;
+        let slots = train.slots();
+        let mut out: Vec<Vec<f64>> = slots
+            .iter()
+            .map(|s| vec![0.0f64; s.chirp.if_samples(fs)])
+            .collect();
+        ComputePool::global().par_chunks(&mut out, 1, |c, row| {
+            synth_chirp(
+                &mut row[0],
+                &slots[c].chirp,
+                scene,
+                fs,
+                t_frame_start + train.slot_start(c),
+            );
+        });
+        if self.noise_sigma > 0.0 {
+            for row in out.iter_mut() {
+                noise.add_awgn(row, self.noise_sigma);
+            }
+        }
+        out
+    }
+
+    /// Zero-allocation variant of [`IfReceiver::dechirp_train`]: lays the
+    /// frame out in a reusable [`SampleSlab`] and fans chirp synthesis out
+    /// across `pool`. Bit-identical to the sequential path (see
+    /// [`IfReceiver::dechirp_train_array_into`] for the argument).
+    pub fn dechirp_train_into(
+        &self,
+        pool: &ComputePool,
+        train: &crate::frame::ChirpTrain,
+        scene: &Scene,
+        t_frame_start: f64,
+        noise: &mut NoiseSource,
+        out: &mut SampleSlab,
+    ) {
+        let fs = self.sample_rate_hz;
+        let slots = train.slots();
+        out.layout_rows(slots.iter().map(|s| s.chirp.if_samples(fs)));
+        {
+            let (offsets, data) = out.parts_mut();
+            pool.par_ragged(data, offsets, |r, row| {
+                synth_chirp(
+                    row,
+                    &slots[r].chirp,
+                    scene,
+                    fs,
+                    t_frame_start + train.slot_start(r),
+                );
+            });
+        }
+        if self.noise_sigma > 0.0 {
+            for r in 0..out.rows() {
+                noise.add_awgn(out.row_mut(r), self.noise_sigma);
+            }
+        }
     }
 }
 
@@ -414,6 +569,81 @@ mod tests {
         let a = receiver.dechirp(&chirp, &scene, 0.0, &mut noise);
         let b = receiver.dechirp(&chirp, &scene, 0.0, &mut noise);
         assert_ne!(a, b);
+    }
+
+    fn busy_scene() -> Scene {
+        let mut tag = Scatterer::tag(4.0, 1.0, 3000.0);
+        tag.modulation = TagModulation::Subcarrier {
+            freq_hz: 3000.0,
+            duty: 0.5,
+        };
+        Scene::new()
+            .with(Scatterer::clutter(2.0, 3.0))
+            .with(Scatterer::mover(6.0, 1.0, 0.5))
+            .with(tag)
+    }
+
+    #[test]
+    fn train_into_bit_identical_across_pool_sizes() {
+        let chirps = vec![Chirp::new(9e9, 1e9, 80e-6); 6];
+        let train = ChirpTrain::with_fixed_period(&chirps, 100e-6).unwrap();
+        let scene = busy_scene();
+        let receiver = IfReceiver {
+            sample_rate_hz: 2e6,
+            noise_sigma: 0.1,
+        };
+        let mut n_ref = NoiseSource::new(11);
+        let reference = receiver.dechirp_train(&train, &scene, 0.0, &mut n_ref);
+        for threads in [1usize, 2, 4] {
+            let pool = ComputePool::new(threads);
+            let mut noise = NoiseSource::new(11);
+            let mut slab = SampleSlab::new();
+            receiver.dechirp_train_into(&pool, &train, &scene, 0.0, &mut noise, &mut slab);
+            assert_eq!(slab.rows(), reference.len());
+            for (c, row) in reference.iter().enumerate() {
+                assert_eq!(slab.row(c), &row[..], "chirp {c}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn train_array_bit_identical_to_per_chirp_serial() {
+        let chirps = vec![Chirp::new(9e9, 1e9, 80e-6); 4];
+        let train = ChirpTrain::with_fixed_period(&chirps, 100e-6).unwrap();
+        let mut scene = busy_scene();
+        scene.scatterers[0].azimuth_rad = 0.3;
+        scene.scatterers[2].azimuth_rad = -0.2;
+        let receiver = IfReceiver {
+            sample_rate_hz: 2e6,
+            noise_sigma: 0.05,
+        };
+        let (n_rx, spacing) = (3usize, 0.5);
+        // Serial baseline: the seed's chirp-by-chirp array dechirp.
+        let mut n_ref = NoiseSource::new(12);
+        let reference: Vec<Vec<Vec<f64>>> = train
+            .iter_timed()
+            .map(|(t0, slot)| {
+                receiver.dechirp_array(&slot.chirp, &scene, t0, n_rx, spacing, &mut n_ref)
+            })
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let pool = ComputePool::new(threads);
+            let mut noise = NoiseSource::new(12);
+            let mut cap = ArrayCapture::new();
+            receiver.dechirp_train_array_into(
+                &pool, &train, &scene, 0.0, n_rx, spacing, &mut noise, &mut cap,
+            );
+            assert_eq!((cap.n_rx(), cap.n_chirps()), (n_rx, reference.len()));
+            for (c, per_antenna) in reference.iter().enumerate() {
+                for (k, want) in per_antenna.iter().enumerate() {
+                    assert_eq!(
+                        cap.chirp(k, c),
+                        &want[..],
+                        "chirp {c} rx {k}, {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

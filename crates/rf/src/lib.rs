@@ -25,6 +25,7 @@
 //! | [`components`] | delay line, splitter, envelope detector, RF switch, Van Atta, ADC, antenna |
 //! | [`scene`] | point scatterers and modulated tag reflectors seen by the radar |
 //! | [`if_gen`] | dechirped IF-domain sample generation for a scene |
+//! | [`slab`] | flat per-chirp sample storage (`SampleSlab`, `ArrayCapture`) |
 //! | [`tag_frontend`] | the tag's differential (two-delay-line) decoder front-end |
 
 #![forbid(unsafe_code)]
@@ -36,6 +37,7 @@ pub mod components;
 pub mod frame;
 pub mod if_gen;
 pub mod scene;
+pub mod slab;
 pub mod tag_frontend;
 
 pub use biscatter_dsp::SPEED_OF_LIGHT;

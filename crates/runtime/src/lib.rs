@@ -30,6 +30,10 @@ pub mod pipeline;
 pub mod queue;
 pub mod source;
 
+/// The scoped parallel-compute layer the DSP stages fan out on
+/// (re-exported so runtime users can size or share a [`compute::ComputePool`]).
+pub use biscatter_compute as compute;
+
 pub use metrics::{
     LatencyHistogram, LatencySnapshot, MetricsSnapshot, StageMetrics, StageSnapshot,
 };

@@ -26,14 +26,17 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
+use biscatter_compute::ComputePool;
 use biscatter_core::downlink::FrameOutcome;
+use biscatter_core::dsp::arena::Lease;
 use biscatter_core::isac::{
-    align_stage, dechirp_stage, detect_stage, doppler_stage, run_isac_frame, synthesize_frame,
-    warm_dsp_plans, AlignedPair, IsacOutcome, SynthesizedFrame,
+    align_stage_into, dechirp_stage_into, detect_stage_with, doppler_stage_into, run_isac_frame,
+    synthesize_frame, warm_dsp_plans, AlignedPair, FrameArena, IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
 use biscatter_rf::frame::ChirpTrain;
+use biscatter_rf::slab::SampleSlab;
 
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, StageMetrics};
 use crate::queue::{Backpressure, BoundedQueue};
@@ -104,6 +107,11 @@ pub struct RuntimeConfig {
     pub policy: Backpressure,
     /// Worker pool sizes.
     pub workers: StageWorkers,
+    /// Threads of the shared intra-frame compute pool: the DSP stages fan
+    /// chirps / range columns of a *single* frame across this pool. Defaults
+    /// to 1 (parallelism comes from frame-level pipelining); raise it when
+    /// frames are large and cores outnumber the stage workers.
+    pub intra_frame_threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -112,6 +120,7 @@ impl Default for RuntimeConfig {
             queue_capacity: 8,
             policy: Backpressure::Block,
             workers: StageWorkers::auto(),
+            intra_frame_threads: 1,
         }
     }
 }
@@ -126,8 +135,11 @@ pub struct RunReport {
 
 // Inter-stage envelopes. Each carries the job (for scenario/seed/id), the
 // enqueue timestamp (for end-to-end latency), and exactly the data the next
-// stage needs — intermediate products are dropped at the earliest stage that
-// no longer needs them, which is what keeps queue memory bounded.
+// stage needs. The bulk payloads are arena `Lease`s, not owned buffers:
+// when an envelope is dropped — at the stage that no longer needs its data,
+// or mid-queue under `DropOldest` — the buffers return to the shared
+// [`FrameArena`] and the next frame reuses them, which is what keeps queue
+// memory bounded *and* steady-state frames allocation-free.
 struct EnvJob {
     job: FrameJob,
     born: Instant,
@@ -142,20 +154,20 @@ struct EnvIf {
     born: Instant,
     train: ChirpTrain,
     downlink: FrameOutcome,
-    if_data: Vec<Vec<f64>>,
+    if_data: Lease<SampleSlab>,
 }
 struct EnvAligned {
     job: FrameJob,
     born: Instant,
     downlink: FrameOutcome,
-    pair: AlignedPair,
+    pair: Lease<AlignedPair>,
 }
 struct EnvMapped {
     job: FrameJob,
     born: Instant,
     downlink: FrameOutcome,
-    pair: AlignedPair,
-    map: RangeDopplerMap,
+    pair: Lease<AlignedPair>,
+    map: Lease<RangeDopplerMap>,
 }
 struct EnvDone {
     id: u64,
@@ -221,6 +233,15 @@ fn spawn_pool<'s, I, O, F, G>(
 pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeConfig) -> RunReport {
     let n_jobs = jobs.len();
     let cap = cfg.queue_capacity;
+    // One compute pool shared by the DSP stages for intra-frame fan-out. Its
+    // background workers warm their thread-local FFT planners at spawn, the
+    // same `warm_dsp_plans` hook the stage workers run in `spawn_pool`.
+    let warm_sys = sys.clone();
+    let intra = ComputePool::with_init(cfg.intra_frame_threads, move || warm_dsp_plans(&warm_sys));
+    let intra = &intra;
+    // Recyclable buffers shared by all stage workers; leases travel inside
+    // the envelopes and return here when dropped.
+    let arena = FrameArena::default();
     let q_synth = Arc::new(BoundedQueue::<EnvJob>::new(cap, cfg.policy));
     let q_dechirp = Arc::new(BoundedQueue::<EnvSynth>::new(cap, cfg.policy));
     let q_align = Arc::new(BoundedQueue::<EnvIf>::new(cap, cfg.policy));
@@ -276,14 +297,25 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_align,
             &m_dechirp,
             || {},
-            |e: EnvSynth| {
-                let if_data = dechirp_stage(sys, &e.synth.train, &e.synth.scene, e.job.seed);
-                EnvIf {
-                    job: e.job,
-                    born: e.born,
-                    train: e.synth.train,
-                    downlink: e.synth.downlink,
-                    if_data,
+            {
+                let arena = arena.clone();
+                move |e: EnvSynth| {
+                    let mut if_data = arena.if_slabs.take_or(SampleSlab::new);
+                    dechirp_stage_into(
+                        intra,
+                        sys,
+                        &e.synth.train,
+                        &e.synth.scene,
+                        e.job.seed,
+                        &mut if_data,
+                    );
+                    EnvIf {
+                        job: e.job,
+                        born: e.born,
+                        train: e.synth.train,
+                        downlink: e.synth.downlink,
+                        if_data,
+                    }
                 }
             },
         );
@@ -294,13 +326,18 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_doppler,
             &m_align,
             || warm_dsp_plans(sys),
-            |e: EnvIf| {
-                let pair = align_stage(sys, &e.train, &e.if_data);
-                EnvAligned {
-                    job: e.job,
-                    born: e.born,
-                    downlink: e.downlink,
-                    pair,
+            {
+                let arena = arena.clone();
+                move |e: EnvIf| {
+                    let mut pair = arena.aligned.take_or(AlignedPair::default);
+                    align_stage_into(intra, sys, &e.train, &*e.if_data, &mut pair);
+                    // `e.if_data` drops here: the slab returns to the arena.
+                    EnvAligned {
+                        job: e.job,
+                        born: e.born,
+                        downlink: e.downlink,
+                        pair,
+                    }
                 }
             },
         );
@@ -311,14 +348,18 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_detect,
             &m_doppler,
             || warm_dsp_plans(sys),
-            |e: EnvAligned| {
-                let map = doppler_stage(&e.pair);
-                EnvMapped {
-                    job: e.job,
-                    born: e.born,
-                    downlink: e.downlink,
-                    pair: e.pair,
-                    map,
+            {
+                let arena = arena.clone();
+                move |e: EnvAligned| {
+                    let mut map = arena.maps.take_or(RangeDopplerMap::default);
+                    doppler_stage_into(intra, &e.pair, &mut map);
+                    EnvMapped {
+                        job: e.job,
+                        born: e.born,
+                        downlink: e.downlink,
+                        pair: e.pair,
+                        map,
+                    }
                 }
             },
         );
@@ -329,12 +370,23 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &q_sink,
             &m_detect,
             || warm_dsp_plans(sys),
-            |e: EnvMapped| {
-                let outcome = detect_stage(&e.job.scenario, &e.pair, &e.map, e.downlink);
-                EnvDone {
-                    id: e.job.id,
-                    born: e.born,
-                    outcome,
+            {
+                let arena = arena.clone();
+                move |e: EnvMapped| {
+                    let mut mean_power = arena.scratch.take_or(Vec::new);
+                    let outcome = detect_stage_with(
+                        &e.job.scenario,
+                        &e.pair,
+                        &e.map,
+                        e.downlink,
+                        &mut mean_power,
+                    );
+                    // Pair, map, and scratch leases drop here — recycled.
+                    EnvDone {
+                        id: e.job.id,
+                        born: e.born,
+                        outcome,
+                    }
                 }
             },
         );

@@ -20,6 +20,7 @@ fn blocking_stream_of_200_frames_is_lossless() {
         queue_capacity: 4,
         policy: Backpressure::Block,
         workers: StageWorkers::auto(),
+        ..RuntimeConfig::default()
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
 
@@ -74,6 +75,7 @@ fn streaming_matches_one_shot_path() {
             queue_capacity: capacity,
             policy: Backpressure::Block,
             workers,
+            ..RuntimeConfig::default()
         };
         let streamed = run_streaming(&sys, jobs.clone(), &cfg);
         assert_eq!(streamed.outcomes.len(), serial.len());
@@ -106,6 +108,7 @@ fn drop_oldest_sheds_and_accounts() {
         queue_capacity: 1,
         policy: Backpressure::DropOldest,
         workers: StageWorkers::uniform(1),
+        ..RuntimeConfig::default()
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
     // Conservation: completed + dropped = offered. (The source never blocks
@@ -143,6 +146,7 @@ fn pipelined_beats_serial_on_multicore() {
         queue_capacity: 8,
         policy: Backpressure::Block,
         workers: StageWorkers::auto(),
+        ..RuntimeConfig::default()
     };
     let t1 = std::time::Instant::now();
     let streamed = run_streaming(&sys, jobs, &cfg);

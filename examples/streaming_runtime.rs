@@ -25,6 +25,7 @@ fn main() {
         queue_capacity: 8,
         policy: Backpressure::Block,
         workers: StageWorkers::auto(),
+        ..RuntimeConfig::default()
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
 
@@ -56,6 +57,7 @@ fn main() {
         queue_capacity: 2,
         policy: Backpressure::DropOldest,
         workers: StageWorkers::uniform(1),
+        ..RuntimeConfig::default()
     };
     let shed = run_streaming(&sys, WorkloadSpec::four_by_eight(60, 42).jobs(&sys), &lossy);
     println!("=== drop-oldest on capacity-2 queues (60 frames) ===");

@@ -131,10 +131,9 @@ fn main() {
                 noise_sigma: 0.02,
             };
             let mut n2 = biscatter_core::dsp::signal::NoiseSource::new(seed ^ 0xA0A);
-            let per_rx = rx2.dechirp_train_array(&train, &scene2, 0.0, 2, 0.5, &mut n2);
-            let frames: Vec<_> = per_rx
-                .iter()
-                .map(|d| align_frame(&sys.rx, &train, d))
+            let capture = rx2.dechirp_train_array(&train, &scene2, 0.0, 2, 0.5, &mut n2);
+            let frames: Vec<_> = (0..capture.n_rx())
+                .map(|k| align_frame(&sys.rx, &train, &capture.rx_view(k)))
                 .collect();
             locate_tag_2d(&frames, 0.5, f_mod, 10.0)
         };
