@@ -1,0 +1,281 @@
+//! `cargo bench --bench multitag` — the PR-4 batched multi-tag detection
+//! engine, recorded in `results/BENCH_multitag.json`:
+//!
+//! * per-frame detect cost (localize + uplink decode for all K tags) of the
+//!   batched `detect_all` vs the sequential per-tag `locate_tag` +
+//!   `demodulate` loop, at K = 1 / 8 / 64 / 256 tags on one 512-chirp ×
+//!   4096-range-bin (high-range-resolution) frame;
+//! * steady-state heap allocations of one batched pass (counted by a
+//!   wrapping global allocator; must be 0);
+//! * a batched-vs-sequential bit-equality check at every K.
+//!
+//! A plain `main` (harness = false) so the medians can be written to JSON.
+//! `--quick` runs one pass per path and skips the JSON write, but still
+//! enforces the bit-equality and zero-allocation assertions — the CI smoke
+//! mode fails if the batched engine ever diverges from the per-tag loop.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::time::Instant;
+
+use biscatter_core::dsp::complex::Cpx;
+use biscatter_core::radar::receiver::doppler::range_doppler;
+use biscatter_core::radar::receiver::localize::locate_tag;
+use biscatter_core::radar::receiver::multitag::{
+    detect_all, MultiTagScratch, TagBank, TagDetection, TagProfile,
+};
+use biscatter_core::radar::receiver::uplink::{demodulate, UplinkScheme};
+use biscatter_core::radar::receiver::AlignedFrame;
+use biscatter_runtime::compute::ComputePool;
+
+thread_local! {
+    /// `-1` = not counting; `>= 0` = allocations observed on this thread.
+    static ALLOCS: Cell<isize> = const { Cell::new(-1) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+fn count_one() {
+    let _ = ALLOCS.try_with(|c| {
+        let v = c.get();
+        if v >= 0 {
+            c.set(v + 1);
+        }
+    });
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const N_CHIRPS: usize = 512;
+const N_RANGE: usize = 4096;
+const T_PERIOD: f64 = 120e-6;
+const MAX_TAGS: usize = 256;
+const MIN_SNR_DB: f64 = 10.0;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Doppler bin of tag `t`: 1..=256, one tag per positive-half map row.
+fn tag_bin(t: usize) -> usize {
+    1 + t
+}
+
+fn tag_freq(t: usize) -> f64 {
+    tag_bin(t) as f64 / (N_CHIRPS as f64 * T_PERIOD)
+}
+
+/// Range bin of tag `t`, spread over the grid with a stride coprime to its
+/// length so neighbouring tags land far apart.
+fn tag_range_bin(t: usize) -> usize {
+    (13 + t * 61) % N_RANGE
+}
+
+fn profiles(k: usize) -> Vec<TagProfile> {
+    (0..k)
+        .map(|t| TagProfile {
+            f_mod_hz: tag_freq(t),
+            scheme: if t % 3 == 2 {
+                UplinkScheme::Fsk {
+                    freq0_hz: tag_freq(t),
+                    freq1_hz: 2.0 * tag_freq(t),
+                }
+            } else {
+                UplinkScheme::Ook {
+                    freq_hz: tag_freq(t),
+                }
+            },
+            bit_duration_s: 32.0 * T_PERIOD,
+        })
+        .collect()
+}
+
+/// Builds one synthetic aligned frame carrying all `MAX_TAGS` subcarrier
+/// tags at distinct Doppler and range bins, over a deterministic
+/// pseudo-noise background (so noise floors and SNRs are finite).
+fn build_frame() -> AlignedFrame {
+    let bin_of: Vec<usize> = (0..MAX_TAGS).map(tag_range_bin).collect();
+    let profiles = (0..N_CHIRPS)
+        .map(|c| {
+            let mut row: Vec<Cpx> = (0..N_RANGE)
+                .map(|r| {
+                    let h = splitmix64((c * N_RANGE + r) as u64);
+                    Cpx::new(1e-3 * (h & 0xFFFF) as f64 / 65536.0, 0.0)
+                })
+                .collect();
+            let t_abs = c as f64 * T_PERIOD;
+            for (t, &rb) in bin_of.iter().enumerate() {
+                // 50%-duty square subcarrier at the tag's modulation
+                // frequency: on-phase reflects, off-phase leaks 1%.
+                let on = (t_abs * tag_freq(t)).rem_euclid(1.0) < 0.5;
+                row[rb].re += if on { 1.0 } else { 0.01 };
+            }
+            row
+        })
+        .collect();
+    AlignedFrame {
+        profiles,
+        range_grid: (0..N_RANGE)
+            .map(|r| r as f64 * 0.0146)
+            .collect::<Vec<f64>>()
+            .into(),
+        t_period: T_PERIOD,
+    }
+}
+
+/// The sequential per-tag baseline the engine replaces (and must match bit
+/// for bit): K independent `locate_tag` + `demodulate` passes.
+fn sequential_detect(
+    frame: &AlignedFrame,
+    map: &biscatter_core::radar::receiver::doppler::RangeDopplerMap,
+    profiles: &[TagProfile],
+    out: &mut Vec<TagDetection>,
+) {
+    out.clear();
+    for p in profiles {
+        let location = locate_tag(map, p.f_mod_hz, MIN_SNR_DB);
+        let uplink =
+            location.and_then(|loc| demodulate(frame, loc.range_bin, p.scheme, p.bit_duration_s));
+        out.push(TagDetection { location, uplink });
+    }
+}
+
+/// Median seconds per call over `samples` runs (after one warm-up); quick
+/// mode skips timing entirely.
+fn median_s(quick: bool, samples: usize, mut run: impl FnMut()) -> f64 {
+    if quick {
+        return 0.0;
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        run();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let samples = 15;
+
+    let frame = build_frame();
+    let map = range_doppler(&frame);
+    let pool = ComputePool::new(1);
+
+    let ks = [1usize, 8, 64, 256];
+    let mut rows = Vec::new();
+    let mut speedup_at_64 = 0.0;
+    let mut steady_allocs_at_64: isize = -1;
+
+    for k in ks {
+        let tags = profiles(k);
+        let mut bank = TagBank::new(tags.clone());
+        bank.min_snr_db = MIN_SNR_DB;
+        let mut scratch = MultiTagScratch::default();
+        let mut batched = Vec::new();
+        let mut reference = Vec::new();
+
+        // --- Bit-equality: batched must match the per-tag loop exactly. --
+        detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut batched);
+        sequential_detect(&frame, &map, &tags, &mut reference);
+        assert_eq!(
+            batched, reference,
+            "batched K={k} diverged from the sequential per-tag loop"
+        );
+        let located = batched.iter().filter(|d| d.location.is_some()).count();
+        let decoded = batched.iter().filter(|d| d.uplink.is_some()).count();
+        assert_eq!(located, k, "K={k}: every synthetic tag must localize");
+        assert_eq!(decoded, k, "K={k}: every synthetic tag must decode");
+
+        // --- Steady-state allocations of one batched pass (at K=64). -----
+        if k == 64 {
+            detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut batched);
+            ALLOCS.with(|c| c.set(0));
+            detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut batched);
+            steady_allocs_at_64 = ALLOCS.with(|c| c.replace(-1));
+            assert_eq!(
+                steady_allocs_at_64, 0,
+                "batched multi-tag path allocated in steady state"
+            );
+            assert_eq!(batched, reference, "steady-state pass changed results");
+        }
+
+        // --- Per-frame detect latency, batched vs sequential. ------------
+        let batched_s = median_s(quick, samples, || {
+            detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut batched);
+            black_box(batched.len());
+        });
+        let sequential_s = median_s(quick, samples, || {
+            sequential_detect(&frame, &map, &tags, &mut reference);
+            black_box(reference.len());
+        });
+        let speedup = if batched_s > 0.0 {
+            sequential_s / batched_s
+        } else {
+            0.0
+        };
+        if k == 64 {
+            speedup_at_64 = speedup;
+        }
+        println!(
+            "K={k:3}: sequential {:8.1} us, batched {:8.1} us, speedup {speedup:.2}x \
+             ({located}/{k} located, {decoded}/{k} decoded)",
+            sequential_s * 1e6,
+            batched_s * 1e6,
+        );
+        rows.push((k, sequential_s, batched_s, speedup));
+    }
+
+    if quick {
+        println!("--quick: smoke run only, results/BENCH_multitag.json not rewritten");
+        return;
+    }
+
+    assert!(
+        speedup_at_64 >= 3.0,
+        "acceptance: batched K=64 must be >= 3x the per-tag loop, got {speedup_at_64:.2}x"
+    );
+
+    let per_k: Vec<String> = rows
+        .iter()
+        .map(|(k, seq, bat, sp)| {
+            format!(
+                "    {{ \"tags\": {k}, \"sequential_frame_ns\": {:.0}, \"batched_frame_ns\": {:.0}, \"speedup\": {sp:.2} }}",
+                seq * 1e9,
+                bat * 1e9
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"batched multi-tag detection (crates/bench/benches/multitag.rs)\",\n  \"note\": \"one-pass localization + uplink decode for K registered tags on one {N_CHIRPS}-chirp x {N_RANGE}-range-bin frame, medians of {samples} runs after warm-up on a 1-thread pool; sequential = per-tag locate_tag + demodulate loop, batched = multitag::detect_all with a warm TagBank + MultiTagScratch. steady_state_allocs counted by a wrapping global allocator over one batched K=64 pass; acceptance: 0 allocs, bit-identical outputs at every K, and >= 3x at K=64.\",\n  \"n_chirps\": {N_CHIRPS},\n  \"n_range_bins\": {N_RANGE},\n  \"per_k\": [\n{}\n  ],\n  \"speedup_at_64\": {speedup_at_64:.2},\n  \"steady_state_allocs\": {steady_allocs_at_64},\n  \"bit_identical\": true\n}}\n",
+        per_k.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_multitag.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_multitag.json");
+    println!("wrote {path}");
+}

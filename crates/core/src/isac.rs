@@ -26,6 +26,9 @@ use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::packet::DownlinkPacket;
 use biscatter_radar::receiver::doppler::{range_doppler_into, RangeDopplerMap};
 use biscatter_radar::receiver::localize::{locate_tag, TagLocation};
+use biscatter_radar::receiver::multitag::{
+    detect_all, MultiTagScratch, TagBank, TagDetection, TagProfile,
+};
 use biscatter_radar::receiver::uplink::{demodulate, UplinkScheme};
 use biscatter_radar::receiver::{align_frame_into, AlignedFrame, RxConfig};
 use biscatter_radar::sensing::{CfarDetector, Detection};
@@ -58,6 +61,23 @@ pub struct MoverSpec {
     pub relative_amp: f64,
 }
 
+/// One additional tag deployed in the scenario beyond the primary: where it
+/// sits, how it modulates, and what it transmits. Detected through the
+/// batched multi-tag engine together with the primary tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagDeployment {
+    /// Tag range from the radar, metres.
+    pub range_m: f64,
+    /// Switch modulation (subcarrier) frequency, Hz.
+    pub mod_freq_hz: f64,
+    /// Uplink bits the tag transmits during the frame (empty = beacon only).
+    pub uplink_bits: Vec<bool>,
+    /// Uplink scheme.
+    pub uplink_scheme: UplinkScheme,
+    /// Uplink bit duration, s.
+    pub uplink_bit_duration_s: f64,
+}
+
 /// One ISAC scenario: tag deployment plus environment.
 #[derive(Debug, Clone)]
 pub struct IsacScenario {
@@ -71,6 +91,10 @@ pub struct IsacScenario {
     pub uplink_scheme: UplinkScheme,
     /// Uplink bit duration, s.
     pub uplink_bit_duration_s: f64,
+    /// Additional tags sharing the frame (paper §5's warehouse deployment).
+    /// When non-empty, detection runs through the batched multi-tag engine
+    /// and [`IsacOutcome::tags`] carries one entry per tag (primary first).
+    pub extra_tags: Vec<TagDeployment>,
     /// Static clutter.
     pub clutter: Vec<ClutterSpec>,
     /// Moving targets.
@@ -88,8 +112,34 @@ impl IsacScenario {
                 freq_hz: mod_freq_hz,
             },
             uplink_bit_duration_s: 32.0 * 120e-6,
+            extra_tags: Vec::new(),
             clutter: Vec::new(),
             movers: Vec::new(),
+        }
+    }
+
+    /// Adds an additional tag to the scenario (builder style).
+    pub fn with_extra_tag(mut self, tag: TagDeployment) -> Self {
+        self.extra_tags.push(tag);
+        self
+    }
+
+    /// The detection profiles of every tag in the scenario, primary first —
+    /// the order [`IsacOutcome::tags`] follows. Appends into `out` so
+    /// steady-state callers reuse its capacity.
+    pub fn tag_profiles_into(&self, out: &mut Vec<TagProfile>) {
+        out.clear();
+        out.push(TagProfile {
+            f_mod_hz: self.tag_mod_freq_hz,
+            scheme: self.uplink_scheme,
+            bit_duration_s: self.uplink_bit_duration_s,
+        });
+        for t in &self.extra_tags {
+            out.push(TagProfile {
+                f_mod_hz: t.mod_freq_hz,
+                scheme: t.uplink_scheme,
+                bit_duration_s: t.uplink_bit_duration_s,
+            });
         }
     }
 
@@ -124,6 +174,9 @@ pub struct IsacOutcome {
     pub uplink_bits: Option<Vec<bool>>,
     /// CFAR detections from the sensing path (background *not* subtracted).
     pub detections: Vec<Detection>,
+    /// Per-tag results from the batched multi-tag engine, primary tag first.
+    /// Empty for single-tag scenarios (which take the legacy detect path).
+    pub tags: Vec<TagDetection>,
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +255,11 @@ pub struct FrameArena {
     pub maps: Pool<RangeDopplerMap>,
     /// Stage 5 mean-power scratch.
     pub scratch: Pool<Vec<f64>>,
+    /// Stage 5 multi-tag banks (cached detection templates stay warm as
+    /// banks cycle through the pool across frames).
+    pub banks: Pool<TagBank>,
+    /// Stage 5 multi-tag batch scratch (band/score/amplitude slabs).
+    pub multitag: Pool<MultiTagScratch>,
 }
 
 /// Stage 1 — frame synthesis: builds the chirp train, runs the tag-side
@@ -239,26 +297,12 @@ pub fn synthesize_frame(
 
     // --- Radar-side scene. ---
     let tag_amp = sys.tag_if_amplitude(scenario.tag_range_m);
-    let modulation = if scenario.uplink_bits.is_empty() {
-        TagModulation::Subcarrier {
-            freq_hz: scenario.tag_mod_freq_hz,
-            duty: 0.5,
-        }
-    } else {
-        match scenario.uplink_scheme {
-            UplinkScheme::Ook { freq_hz } => TagModulation::OokBits {
-                freq_hz,
-                bit_duration_s: scenario.uplink_bit_duration_s,
-                bits: scenario.uplink_bits.clone(),
-            },
-            UplinkScheme::Fsk { freq0_hz, freq1_hz } => TagModulation::FskBits {
-                freq0_hz,
-                freq1_hz,
-                bit_duration_s: scenario.uplink_bit_duration_s,
-                bits: scenario.uplink_bits.clone(),
-            },
-        }
-    };
+    let modulation = tag_modulation(
+        scenario.tag_mod_freq_hz,
+        &scenario.uplink_bits,
+        scenario.uplink_scheme,
+        scenario.uplink_bit_duration_s,
+    );
     let mut scene = Scene::new().with(Scatterer {
         range_m: scenario.tag_range_m,
         azimuth_rad: 0.0,
@@ -267,6 +311,21 @@ pub fn synthesize_frame(
         modulation,
         leak: 0.01,
     });
+    for t in &scenario.extra_tags {
+        scene = scene.with(Scatterer {
+            range_m: t.range_m,
+            azimuth_rad: 0.0,
+            velocity_mps: 0.0,
+            amplitude: sys.tag_if_amplitude(t.range_m),
+            modulation: tag_modulation(
+                t.mod_freq_hz,
+                &t.uplink_bits,
+                t.uplink_scheme,
+                t.uplink_bit_duration_s,
+            ),
+            leak: 0.01,
+        });
+    }
     for c in &scenario.clutter {
         scene = scene.with(Scatterer::clutter(c.range_m, c.relative_amp * tag_amp));
     }
@@ -282,6 +341,36 @@ pub fn synthesize_frame(
         train,
         scene,
         downlink,
+    }
+}
+
+/// How a tag's reflectivity toggles on air: a plain subcarrier beacon when
+/// it has no bits to send, otherwise its uplink scheme gating/shifting the
+/// subcarrier per bit.
+fn tag_modulation(
+    mod_freq_hz: f64,
+    uplink_bits: &[bool],
+    scheme: UplinkScheme,
+    bit_duration_s: f64,
+) -> TagModulation {
+    if uplink_bits.is_empty() {
+        return TagModulation::Subcarrier {
+            freq_hz: mod_freq_hz,
+            duty: 0.5,
+        };
+    }
+    match scheme {
+        UplinkScheme::Ook { freq_hz } => TagModulation::OokBits {
+            freq_hz,
+            bit_duration_s,
+            bits: uplink_bits.to_vec(),
+        },
+        UplinkScheme::Fsk { freq0_hz, freq1_hz } => TagModulation::FskBits {
+            freq0_hz,
+            freq1_hz,
+            bit_duration_s,
+            bits: uplink_bits.to_vec(),
+        },
     }
 }
 
@@ -405,6 +494,21 @@ pub fn detect_stage_with(
         })
     };
 
+    let detections = sensing_detections(pair, mean_power);
+
+    IsacOutcome {
+        downlink,
+        location,
+        uplink_bits,
+        detections,
+        tags: Vec::new(),
+    }
+}
+
+/// CFAR detection on the sensing path: mean power over slow time per range
+/// bin, fed to the detector. Shared by the single- and multi-tag detect
+/// stages.
+fn sensing_detections(pair: &AlignedPair, mean_power: &mut Vec<f64>) -> Vec<Detection> {
     let sensing_frame = &pair.sensing;
     let n = sensing_frame.n_chirps() as f64;
     // Accumulate profiles-outer so each pass walks one contiguous profile
@@ -420,13 +524,49 @@ pub fn detect_stage_with(
     for acc in mean_power.iter_mut() {
         *acc /= n;
     }
-    let detections = CfarDetector::default().detect(mean_power, &sensing_frame.range_grid);
+    CfarDetector::default().detect(mean_power, &sensing_frame.range_grid)
+}
+
+/// Stage 5, batched: localizes and decodes **every** tag of the scenario
+/// (primary + `extra_tags`) in one pass through the multi-tag engine on
+/// `pool`, then runs the same sensing CFAR as [`detect_stage_with`].
+///
+/// The scenario's tag profiles are re-asserted on `bank` each call — a
+/// no-op when unchanged, so a bank cycling through a [`FrameArena`] keeps
+/// its cached templates warm across frames. The primary fields of the
+/// outcome (`location`, `uplink_bits`) mirror `tags[0]`, with the same
+/// bits-requested policy as the single-tag stage.
+#[allow(clippy::too_many_arguments)]
+pub fn detect_stage_multi(
+    pool: &ComputePool,
+    scenario: &IsacScenario,
+    pair: &AlignedPair,
+    map: &RangeDopplerMap,
+    downlink: FrameOutcome,
+    bank: &mut TagBank,
+    scratch: &mut MultiTagScratch,
+    mean_power: &mut Vec<f64>,
+) -> IsacOutcome {
+    let mut profiles = Vec::new();
+    scenario.tag_profiles_into(&mut profiles);
+    bank.set_tags(&profiles);
+    let mut tags = Vec::new();
+    detect_all(pool, bank, map, &pair.comms, scratch, &mut tags);
+
+    let location = tags[0].location;
+    let uplink_bits = if scenario.uplink_bits.is_empty() {
+        None
+    } else {
+        tags[0].uplink.as_ref().map(|d| d.bits.clone())
+    };
+    let detections = sensing_detections(pair, mean_power);
 
     IsacOutcome {
         downlink,
         location,
         uplink_bits,
         detections,
+        tags,
     }
 }
 
@@ -441,7 +581,23 @@ pub fn run_isac_frame(
     let if_data = dechirp_stage(sys, &synth.train, &synth.scene, seed);
     let pair = align_stage(sys, &synth.train, &if_data);
     let map = doppler_stage(&pair);
-    detect_stage(scenario, &pair, &map, synth.downlink)
+    if scenario.extra_tags.is_empty() {
+        detect_stage(scenario, &pair, &map, synth.downlink)
+    } else {
+        let mut bank = TagBank::default();
+        let mut scratch = MultiTagScratch::default();
+        let mut mean_power = Vec::new();
+        detect_stage_multi(
+            ComputePool::global(),
+            scenario,
+            &pair,
+            &map,
+            synth.downlink,
+            &mut bank,
+            &mut scratch,
+            &mut mean_power,
+        )
+    }
 }
 
 /// [`run_isac_frame`] on an explicit compute pool, recycling every hot-path
@@ -464,7 +620,22 @@ pub fn run_isac_frame_with(
     let mut map: Lease<RangeDopplerMap> = arena.maps.take_or(RangeDopplerMap::default);
     doppler_stage_into(pool, &pair, &mut map);
     let mut mean_power: Lease<Vec<f64>> = arena.scratch.take_or(Vec::new);
-    detect_stage_with(scenario, &pair, &map, synth.downlink, &mut mean_power)
+    if scenario.extra_tags.is_empty() {
+        detect_stage_with(scenario, &pair, &map, synth.downlink, &mut mean_power)
+    } else {
+        let mut bank: Lease<TagBank> = arena.banks.take_or(TagBank::default);
+        let mut scratch: Lease<MultiTagScratch> = arena.multitag.take_or(MultiTagScratch::default);
+        detect_stage_multi(
+            pool,
+            scenario,
+            &pair,
+            &map,
+            synth.downlink,
+            &mut bank,
+            &mut scratch,
+            &mut mean_power,
+        )
+    }
 }
 
 #[cfg(test)]

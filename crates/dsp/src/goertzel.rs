@@ -15,6 +15,65 @@
 
 use crate::TAU;
 
+/// Precomputed Goertzel recurrence coefficients for one normalized
+/// frequency — the cacheable part of the filter. A [`Goertzel`] evaluator
+/// pays the three trig calls on every construction; detection paths that
+/// evaluate the same frequency for every bit window of every frame (the
+/// radar's multi-tag uplink decoder) compute a `GoertzelCoeffs` once per
+/// tag and run the stateless [`GoertzelCoeffs::power_shifted`] per window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoertzelCoeffs {
+    coeff: f64,
+    cos_w: f64,
+    sin_w: f64,
+}
+
+impl GoertzelCoeffs {
+    /// Coefficients for normalized frequency `f_norm = f / fs` (cycles per
+    /// sample). Same convention as [`Goertzel::new`].
+    pub fn new(f_norm: f64) -> Self {
+        let w = TAU * f_norm;
+        GoertzelCoeffs {
+            coeff: 2.0 * w.cos(),
+            cos_w: w.cos(),
+            sin_w: w.sin(),
+        }
+    }
+
+    /// Spectral power of `samples` at this frequency.
+    pub fn power(&self, samples: &[f64]) -> f64 {
+        self.power_shifted(samples, 0.0)
+    }
+
+    /// Spectral power of `samples` with `shift` subtracted from every
+    /// sample, without materializing the shifted sequence. Each recurrence
+    /// step consumes `x - shift`, so the result is bit-identical to copying
+    /// the samples into a scratch buffer, subtracting, and running the
+    /// plain filter — with zero allocation and a single pass.
+    pub fn power_shifted(&self, samples: &[f64], shift: f64) -> f64 {
+        let (mut s1, mut s2) = (0.0f64, 0.0f64);
+        for &x in samples {
+            let s0 = (x - shift) + self.coeff * s1 - s2;
+            s2 = s1;
+            s1 = s0;
+        }
+        let re = s1 * self.cos_w - s2;
+        let im = s1 * self.sin_w;
+        re * re + im * im
+    }
+}
+
+/// Spectral power of `samples` at `f_norm` with the window mean removed —
+/// the decision metric of the uplink demodulator (the subcarrier rides on a
+/// DC amplitude level). Folds mean removal into the Goertzel pass instead
+/// of allocating a mean-subtracted copy; the mean is accumulated in the
+/// same left-to-right order as `iter().sum()`, so results are bit-identical
+/// to the subtract-then-filter formulation.
+pub fn goertzel_power_dc_removed(samples: &[f64], f_norm: f64) -> f64 {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    GoertzelCoeffs::new(f_norm).power_shifted(samples, mean)
+}
+
 /// Streaming Goertzel evaluator for a single frequency.
 ///
 /// Feed samples with [`Goertzel::push`]; read the spectral power for the
@@ -379,5 +438,37 @@ mod tests {
         let bank = GoertzelBank::new(&[]);
         assert!(bank.is_empty());
         assert!(bank.argmax().is_none());
+    }
+
+    #[test]
+    fn coeffs_match_streaming_evaluator() {
+        let f_norm = 0.173;
+        let x: Vec<f64> = (0..200)
+            .map(|i| (TAU * f_norm * i as f64).cos() + 0.3)
+            .collect();
+        let mut g = Goertzel::new(f_norm);
+        for &s in &x {
+            g.push(s);
+        }
+        let c = GoertzelCoeffs::new(f_norm);
+        assert_eq!(c.power(&x).to_bits(), g.power().to_bits());
+    }
+
+    #[test]
+    fn dc_fold_matches_subtract_then_filter() {
+        let f_norm = 0.11;
+        let x: Vec<f64> = (0..64)
+            .map(|i| (TAU * f_norm * i as f64).sin() * 0.7 + 2.5)
+            .collect();
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let shifted: Vec<f64> = x.iter().map(|&v| v - mean).collect();
+        let folded = goertzel_power_dc_removed(&x, f_norm);
+        let materialized = goertzel_power(&shifted, f_norm);
+        assert_eq!(folded.to_bits(), materialized.to_bits());
+    }
+
+    #[test]
+    fn dc_fold_empty_window_is_zero() {
+        assert_eq!(goertzel_power_dc_removed(&[], 0.1), 0.0);
     }
 }

@@ -170,6 +170,28 @@ pub fn noise_floor(power: &[f64]) -> f64 {
     median / std::f64::consts::LN_2
 }
 
+/// [`noise_floor`] computed destructively in O(n) via selection instead of a
+/// full sort. Returns the exact same value as `noise_floor` on the same data
+/// (the selected order statistics are identical), but permutes `power`, so
+/// it is meant for scratch buffers the caller owns — the batched multi-tag
+/// detector runs it on its per-tag score rows after the peak is extracted.
+pub fn noise_floor_inplace(power: &mut [f64]) -> f64 {
+    if power.is_empty() {
+        return 0.0;
+    }
+    let n = power.len();
+    let mid = n / 2;
+    let (below, upper, _) = power.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    let median = if n % 2 == 1 {
+        *upper
+    } else {
+        // Even length: the lower middle is the max of the left partition.
+        let lower = below.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lower + *upper)
+    };
+    median / std::f64::consts::LN_2
+}
+
 /// SNR (linear) of the strongest tone in `power`: peak power over the
 /// median-estimated noise floor. Returns `None` on an empty spectrum.
 pub fn tone_snr(power: &[f64]) -> Option<f64> {
@@ -317,6 +339,28 @@ mod tests {
     fn empty_spectrum_helpers() {
         assert!(find_peak(&[]).is_none());
         assert_eq!(noise_floor(&[]), 0.0);
+        assert_eq!(noise_floor_inplace(&mut []), 0.0);
         assert!(tone_snr(&[]).is_none());
+    }
+
+    #[test]
+    fn noise_floor_inplace_matches_sorted_version() {
+        // Pseudo-random power values, both parities, including duplicates.
+        for n in [1usize, 2, 3, 7, 8, 100, 101, 1024] {
+            let power: Vec<f64> = (0..n)
+                .map(|i| {
+                    let v = ((i as f64 * 12.9898).sin() * 43758.5453).fract().abs();
+                    if i % 7 == 0 {
+                        0.25
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let mut scratch = power.clone();
+            let selected = noise_floor_inplace(&mut scratch);
+            let sorted = noise_floor(&power);
+            assert_eq!(selected.to_bits(), sorted.to_bits(), "n={n}");
+        }
     }
 }

@@ -103,16 +103,34 @@ impl RangeDopplerMap {
     /// Sums power over a small window of Doppler bins around `center`
     /// (inclusive ± `half_width`), clamped to the positive-frequency half.
     pub fn range_slice_banded(&self, center: usize, half_width: usize) -> Vec<f64> {
-        let lo = center.saturating_sub(half_width);
-        let hi = (center + half_width).min(self.n_doppler / 2);
+        let mut out = Vec::new();
+        self.range_slice_banded_into(center, half_width, &mut out);
+        out
+    }
+
+    /// [`range_slice_banded`](Self::range_slice_banded) into a caller-owned
+    /// buffer (cleared and resized), so hot paths can reuse scratch instead
+    /// of allocating a fresh band per harmonic per call.
+    pub fn range_slice_banded_into(&self, center: usize, half_width: usize, out: &mut Vec<f64>) {
+        let (lo, hi) = self.band_bins(center, half_width);
         let n_range = self.n_range();
-        let mut out = vec![0.0; n_range];
+        out.clear();
+        out.resize(n_range, 0.0);
         for k in lo..=hi {
             for (o, &p) in out.iter_mut().zip(self.range_slice(k)) {
                 *o += p;
             }
         }
-        out
+    }
+
+    /// The clamped inclusive Doppler-bin window `[lo, hi]` that
+    /// [`range_slice_banded`](Self::range_slice_banded) sums around `center`.
+    /// Exposed so the multi-tag engine can dedup identical bands across tags
+    /// while reproducing the exact same row set.
+    pub fn band_bins(&self, center: usize, half_width: usize) -> (usize, usize) {
+        let lo = center.saturating_sub(half_width);
+        let hi = (center + half_width).min(self.n_doppler / 2);
+        (lo, hi)
     }
 }
 

@@ -10,6 +10,15 @@
 
 use super::doppler::RangeDopplerMap;
 use biscatter_dsp::spectrum::{find_peak, noise_floor};
+use std::cell::RefCell;
+
+/// Square-wave harmonic signature: (harmonic multiple, weight) pairs in the
+/// order the matched filter accumulates them — fundamental plus the 3rd and
+/// 5th odd harmonics, weighted by the square wave's squared Fourier
+/// coefficients. Shared with the multi-tag engine so both paths build the
+/// identical template.
+pub(crate) const SQUARE_WAVE_HARMONICS: [(f64, f64); 3] =
+    [(1.0, 1.0), (3.0, 1.0 / 9.0), (5.0, 1.0 / 25.0)];
 
 /// The result of locating a tag.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,30 +38,65 @@ pub struct TagLocation {
 /// harmonics (weights 1, 1/9, 1/25 — the squared Fourier coefficients of a
 /// square wave).
 pub fn signature_score(map: &RangeDopplerMap, f_mod_hz: f64) -> Vec<f64> {
-    let n_range = map.range_grid.len();
-    let mut score = vec![0.0f64; n_range];
-    let nyquist = 0.5 / map.t_period;
-    for (h, w) in [(1.0, 1.0), (3.0, 1.0 / 9.0), (5.0, 1.0 / 25.0)] {
-        let f = f_mod_hz * h;
-        if f >= nyquist {
-            break;
-        }
-        let bin = map.bin_for_freq(f);
-        let slice = map.range_slice_banded(bin, 1);
-        for (s, p) in score.iter_mut().zip(&slice) {
-            *s += w * p;
-        }
-    }
+    let mut score = Vec::new();
+    signature_score_into(map, f_mod_hz, &mut score);
     score
+}
+
+thread_local! {
+    /// Per-thread banded-slice scratch shared by every harmonic of every
+    /// call, so scoring allocates nothing in steady state.
+    static BAND: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread score buffer for [`locate_tag`].
+    static SCORE: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// [`signature_score`] into a caller-owned buffer (cleared and resized).
+/// The banded Doppler slice for each harmonic goes through a per-thread
+/// scratch vector, so repeated calls allocate nothing once warm.
+pub fn signature_score_into(map: &RangeDopplerMap, f_mod_hz: f64, score: &mut Vec<f64>) {
+    let n_range = map.range_grid.len();
+    score.clear();
+    score.resize(n_range, 0.0);
+    let nyquist = 0.5 / map.t_period;
+    BAND.with(|b| {
+        let mut band = b.borrow_mut();
+        for (h, w) in SQUARE_WAVE_HARMONICS {
+            let f = f_mod_hz * h;
+            if f >= nyquist {
+                break;
+            }
+            let bin = map.bin_for_freq(f);
+            map.range_slice_banded_into(bin, 1, &mut band);
+            for (s, &p) in score.iter_mut().zip(band.iter()) {
+                *s += w * p;
+            }
+        }
+    });
 }
 
 /// Locates the tag with modulation frequency `f_mod_hz`. Returns `None` when
 /// the signature peak does not clear `min_snr_db` above the slice's noise
 /// floor (no tag present / out of range).
 pub fn locate_tag(map: &RangeDopplerMap, f_mod_hz: f64, min_snr_db: f64) -> Option<TagLocation> {
-    let score = signature_score(map, f_mod_hz);
-    let peak = find_peak(&score)?;
-    let floor = noise_floor(&score);
+    SCORE.with(|s| {
+        let mut score = s.borrow_mut();
+        signature_score_into(map, f_mod_hz, &mut score);
+        let peak = find_peak(&score)?;
+        let floor = noise_floor(&score);
+        location_from(map, peak, floor, min_snr_db)
+    })
+}
+
+/// Turns a signature peak + noise floor into a [`TagLocation`], applying the
+/// SNR gate. Shared by the sequential and batched paths so the acceptance
+/// arithmetic is written exactly once.
+pub(crate) fn location_from(
+    map: &RangeDopplerMap,
+    peak: biscatter_dsp::spectrum::Peak,
+    floor: f64,
+    min_snr_db: f64,
+) -> Option<TagLocation> {
     let snr = if floor > 0.0 {
         10.0 * (peak.power / floor).log10()
     } else {

@@ -23,6 +23,7 @@ pub mod aoa;
 pub mod doppler;
 pub mod if_correction;
 pub mod localize;
+pub mod multitag;
 pub mod range_profile;
 pub mod uplink;
 pub mod velocity;

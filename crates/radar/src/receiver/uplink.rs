@@ -8,7 +8,8 @@
 //! comparison between the two subcarriers (FSK).
 
 use super::AlignedFrame;
-use biscatter_dsp::goertzel::goertzel_power;
+use biscatter_dsp::goertzel::GoertzelCoeffs;
+use std::cell::RefCell;
 
 /// Uplink modulation schemes the radar can demodulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +29,7 @@ pub enum UplinkScheme {
 }
 
 /// Demodulation outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UplinkDecode {
     /// Decided bits, one per complete bit window in the frame.
     pub bits: Vec<bool>,
@@ -61,55 +62,99 @@ pub fn demodulate(
     let fs_slow = frame.chirp_rate();
     let n_bits = amp.len() / chirps_per_bit;
 
+    let mut out = UplinkDecode::default();
     match scheme {
         UplinkScheme::Ook { freq_hz } => {
-            let f_norm = freq_hz / fs_slow;
-            let powers: Vec<f64> = (0..n_bits)
-                .map(|b| {
-                    let w = &amp[b * chirps_per_bit..(b + 1) * chirps_per_bit];
-                    goertzel_power(&dc_removed(w), f_norm)
-                })
-                .collect();
-            let threshold = two_level_threshold(&powers);
-            let bits = powers.iter().map(|&p| p > threshold).collect();
-            Some(UplinkDecode {
-                bits,
-                metrics: powers,
-            })
+            let g = GoertzelCoeffs::new(freq_hz / fs_slow);
+            decode_ook_windows(&amp, chirps_per_bit, n_bits, &g, &mut out);
         }
         UplinkScheme::Fsk { freq0_hz, freq1_hz } => {
-            let f0 = freq0_hz / fs_slow;
-            let f1 = freq1_hz / fs_slow;
-            let mut bits = Vec::with_capacity(n_bits);
-            let mut metrics = Vec::with_capacity(n_bits);
-            for b in 0..n_bits {
-                let w = dc_removed(&amp[b * chirps_per_bit..(b + 1) * chirps_per_bit]);
-                let p0 = goertzel_power(&w, f0);
-                let p1 = goertzel_power(&w, f1);
-                bits.push(p1 > p0);
-                metrics.push(p1 - p0);
-            }
-            Some(UplinkDecode { bits, metrics })
+            let g0 = GoertzelCoeffs::new(freq0_hz / fs_slow);
+            let g1 = GoertzelCoeffs::new(freq1_hz / fs_slow);
+            decode_fsk_windows(&amp, chirps_per_bit, n_bits, &g0, &g1, &mut out);
         }
+    }
+    Some(out)
+}
+
+/// OOK bit decisions over `n_bits` windows of `amp`: per-window DC-removed
+/// Goertzel power (folded into the filter pass, no per-window copy), then an
+/// adaptive two-level threshold over the frame. Appends into `out`'s vectors
+/// so the batched path can reuse their capacity. Shared by [`demodulate`]
+/// and the multi-tag engine.
+pub(crate) fn decode_ook_windows(
+    amp: &[f64],
+    chirps_per_bit: usize,
+    n_bits: usize,
+    g: &GoertzelCoeffs,
+    out: &mut UplinkDecode,
+) {
+    out.bits.clear();
+    out.metrics.clear();
+    for b in 0..n_bits {
+        let w = &amp[b * chirps_per_bit..(b + 1) * chirps_per_bit];
+        out.metrics.push(g.power_shifted(w, window_mean(w)));
+    }
+    let threshold = two_level_threshold(&out.metrics);
+    out.bits.extend(out.metrics.iter().map(|&p| p > threshold));
+}
+
+/// FSK bit decisions over `n_bits` windows of `amp`: stronger of the two
+/// subcarriers wins, metric is the power difference. Shared like
+/// [`decode_ook_windows`].
+pub(crate) fn decode_fsk_windows(
+    amp: &[f64],
+    chirps_per_bit: usize,
+    n_bits: usize,
+    g0: &GoertzelCoeffs,
+    g1: &GoertzelCoeffs,
+    out: &mut UplinkDecode,
+) {
+    out.bits.clear();
+    out.metrics.clear();
+    for b in 0..n_bits {
+        let w = &amp[b * chirps_per_bit..(b + 1) * chirps_per_bit];
+        let mean = window_mean(w);
+        let p0 = g0.power_shifted(w, mean);
+        let p1 = g1.power_shifted(w, mean);
+        out.bits.push(p1 > p0);
+        out.metrics.push(p1 - p0);
     }
 }
 
-/// Removes the window mean (the subcarrier rides on a DC amplitude level).
-fn dc_removed(w: &[f64]) -> Vec<f64> {
-    let mean = w.iter().sum::<f64>() / w.len() as f64;
-    w.iter().map(|&x| x - mean).collect()
+/// Mean of a bit window (the DC amplitude level the subcarrier rides on).
+/// Summed left to right, matching the retired `dc_removed` helper so the
+/// folded DC removal stays bit-identical to materializing `x - mean`.
+fn window_mean(w: &[f64]) -> f64 {
+    w.iter().sum::<f64>() / w.len() as f64
+}
+
+thread_local! {
+    /// Per-thread scratch for the threshold's median selection.
+    static THRESHOLD_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Adaptive two-level threshold: the midpoint between the mean of the values
 /// above and below the median. Falls back to half the maximum when the two
 /// clusters collapse (all-same-bit windows).
-fn two_level_threshold(values: &[f64]) -> f64 {
+///
+/// The median (upper-middle order statistic, as the original sort-based code
+/// selected) comes from `select_nth_unstable_by` on a per-thread scratch
+/// copy — O(n) instead of O(n log n) and allocation-free once warm, with
+/// values identical to sorting.
+pub(crate) fn two_level_threshold(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let median = sorted[sorted.len() / 2];
+    let median = THRESHOLD_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        scratch.clear();
+        scratch.extend_from_slice(values);
+        let mid = scratch.len() / 2;
+        *scratch
+            .select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap())
+            .1
+    });
     let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0usize, 0.0, 0usize);
     for &v in values {
         if v <= median {
@@ -121,7 +166,11 @@ fn two_level_threshold(values: &[f64]) -> f64 {
         }
     }
     if hi_n == 0 || lo_n == 0 {
-        return sorted[sorted.len() - 1] / 2.0;
+        // One cluster empty means every value sits on one side of the
+        // median; the maximum is then the same value a full sort would have
+        // put last.
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        return max / 2.0;
     }
     (lo_sum / lo_n as f64 + hi_sum / hi_n as f64) / 2.0
 }

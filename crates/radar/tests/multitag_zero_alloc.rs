@@ -1,0 +1,129 @@
+//! Steady-state allocation audit for the batched multi-tag detect path.
+//!
+//! DESIGN.md §11 claims that after warm-up, `detect_all` on a 1-thread pool
+//! performs **no heap allocation**: the band slab, per-tag score slots, the
+//! chirp-major amplitude slab, the decode-row table, and every `UplinkDecode`
+//! are recycled through `MultiTagScratch` and the output vector, and the
+//! `TagBank` plan cache hits. This test enforces the claim with a counting
+//! global allocator: two warm-up detections size every buffer, then a third
+//! must allocate exactly zero times on the measuring thread.
+//!
+//! The counter is thread-local, so the (single) test is immune to allocator
+//! traffic from the harness's other threads. This file must keep exactly one
+//! `#[test]` for that isolation to stay meaningful.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use biscatter_compute::ComputePool;
+use biscatter_dsp::signal::NoiseSource;
+use biscatter_radar::receiver::doppler::range_doppler;
+use biscatter_radar::receiver::multitag::{detect_all, MultiTagScratch, TagBank, TagProfile};
+use biscatter_radar::receiver::uplink::UplinkScheme;
+use biscatter_radar::receiver::{align_frame, RxConfig};
+use biscatter_rf::chirp::Chirp;
+use biscatter_rf::frame::ChirpTrain;
+use biscatter_rf::if_gen::IfReceiver;
+use biscatter_rf::scene::{Scatterer, Scene};
+
+thread_local! {
+    /// `-1` = not counting; `>= 0` = allocations observed on this thread.
+    static ALLOCS: Cell<isize> = const { Cell::new(-1) };
+}
+
+struct CountingAlloc;
+
+// The counting wrapper defers everything to `System`; it only bumps the
+// thread-local counter when the measuring window is open.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+fn count_one() {
+    // `try_with` so allocations during thread teardown can't panic.
+    let _ = ALLOCS.try_with(|c| {
+        let v = c.get();
+        if v >= 0 {
+            c.set(v + 1);
+        }
+    });
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const N_CHIRPS: usize = 64;
+const T_PERIOD: f64 = 120e-6;
+
+fn bin_freq(bin: usize) -> f64 {
+    bin as f64 / (N_CHIRPS as f64 * T_PERIOD)
+}
+
+#[test]
+fn steady_state_multi_tag_detect_allocates_nothing() {
+    // A beacon-per-tag scene: every profile localizes and decodes, so the
+    // measured pass exercises the full band/score/amp/decode chain.
+    let profiles: Vec<TagProfile> = (0..8)
+        .map(|t| TagProfile {
+            f_mod_hz: bin_freq(5 + 2 * t),
+            scheme: UplinkScheme::Ook {
+                freq_hz: bin_freq(5 + 2 * t),
+            },
+            bit_duration_s: 8.0 * T_PERIOD,
+        })
+        .collect();
+    let mut scene = Scene::new().with(Scatterer::clutter(1.5, 5.0));
+    for (t, p) in profiles.iter().enumerate() {
+        scene = scene.with(Scatterer::tag(2.0 + 1.1 * t as f64, 1.0, p.f_mod_hz));
+    }
+    let chirps = vec![Chirp::new(9e9, 1e9, 96e-6); N_CHIRPS];
+    let train = ChirpTrain::with_fixed_period(&chirps, T_PERIOD).unwrap();
+    let rx = IfReceiver {
+        sample_rate_hz: 10e6,
+        noise_sigma: 0.01,
+    };
+    let mut noise = NoiseSource::new(23);
+    let if_data = rx.dechirp_train(&train, &scene, 0.0, &mut noise);
+    let cfg = RxConfig {
+        n_range_bins: 256,
+        ..RxConfig::default()
+    };
+    let frame = align_frame(&cfg, &train, &if_data);
+    let map = range_doppler(&frame);
+
+    let pool = ComputePool::new(1);
+    let mut bank = TagBank::new(profiles);
+    let mut scratch = MultiTagScratch::default();
+    let mut out = Vec::new();
+
+    // Warm-up: builds the bank's plan cache and sizes every scratch slab,
+    // score slot, decode buffer, and the thread-local threshold scratch.
+    detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut out);
+    let warm = out.clone();
+    detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut out);
+    assert_eq!(out, warm, "warm-up detections must be deterministic");
+    let located = out.iter().filter(|d| d.location.is_some()).count();
+    let decoded = out.iter().filter(|d| d.uplink.is_some()).count();
+    assert_eq!(located, 8, "every beacon must localize");
+    assert_eq!(decoded, 8, "every beacon must decode");
+
+    // Measured steady-state detection.
+    ALLOCS.with(|c| c.set(0));
+    detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut out);
+    let n = ALLOCS.with(|c| c.replace(-1));
+    assert_eq!(out, warm, "measured detection must match warm-up output");
+    assert_eq!(
+        n, 0,
+        "steady-state multi-tag detect performed {n} heap allocations"
+    );
+}

@@ -30,11 +30,13 @@ use biscatter_compute::ComputePool;
 use biscatter_core::downlink::FrameOutcome;
 use biscatter_core::dsp::arena::Lease;
 use biscatter_core::isac::{
-    align_stage_into, dechirp_stage_into, detect_stage_with, doppler_stage_into, run_isac_frame,
-    synthesize_frame, warm_dsp_plans, AlignedPair, FrameArena, IsacOutcome, SynthesizedFrame,
+    align_stage_into, dechirp_stage_into, detect_stage_multi, detect_stage_with,
+    doppler_stage_into, run_isac_frame, synthesize_frame, warm_dsp_plans, AlignedPair, FrameArena,
+    IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
+use biscatter_radar::receiver::multitag::{MultiTagScratch, TagBank};
 use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::slab::SampleSlab;
 
@@ -374,13 +376,31 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
                 let arena = arena.clone();
                 move |e: EnvMapped| {
                     let mut mean_power = arena.scratch.take_or(Vec::new);
-                    let outcome = detect_stage_with(
-                        &e.job.scenario,
-                        &e.pair,
-                        &e.map,
-                        e.downlink,
-                        &mut mean_power,
-                    );
+                    let outcome = if e.job.scenario.extra_tags.is_empty() {
+                        detect_stage_with(
+                            &e.job.scenario,
+                            &e.pair,
+                            &e.map,
+                            e.downlink,
+                            &mut mean_power,
+                        )
+                    } else {
+                        // Multi-tag frames go through the batched engine. The
+                        // bank lease keeps its cached per-tag templates when
+                        // it cycles back to a frame with the same tag set.
+                        let mut bank = arena.banks.take_or(TagBank::default);
+                        let mut scratch = arena.multitag.take_or(MultiTagScratch::default);
+                        detect_stage_multi(
+                            intra,
+                            &e.job.scenario,
+                            &e.pair,
+                            &e.map,
+                            e.downlink,
+                            &mut bank,
+                            &mut scratch,
+                            &mut mean_power,
+                        )
+                    };
                     // Pair, map, and scratch leases drop here — recycled.
                     EnvDone {
                         id: e.job.id,

@@ -6,8 +6,9 @@
 //! job, never on worker scheduling — the streaming pipeline and the one-shot
 //! path produce identical outcomes for the same spec.
 
-use biscatter_core::isac::{ClutterSpec, IsacScenario, MoverSpec};
+use biscatter_core::isac::{ClutterSpec, IsacScenario, MoverSpec, TagDeployment};
 use biscatter_core::system::BiScatterSystem;
+use biscatter_radar::receiver::uplink::UplinkScheme;
 
 /// One frame's worth of work for the pipeline.
 #[derive(Debug, Clone)]
@@ -100,6 +101,71 @@ impl WorkloadSpec {
             })
             .collect()
     }
+}
+
+/// A deterministic multi-tag workload: every frame carries `tags_per_frame`
+/// tags (one primary + extras) at distinct modulation bins and ranges, so
+/// the pipeline's detect stage exercises the batched multi-tag engine. Odd
+/// extras transmit seeded uplink bits, even extras beacon only; geometry,
+/// bits, and seeds are pure functions of `(base_seed, frame id)`, like
+/// [`WorkloadSpec::jobs`].
+pub fn multi_tag_jobs(
+    sys: &BiScatterSystem,
+    n_frames: usize,
+    tags_per_frame: usize,
+    base_seed: u64,
+) -> Vec<FrameJob> {
+    assert!(tags_per_frame >= 1, "at least the primary tag");
+    let frame_s = sys.frame_chirps as f64 * sys.radar.t_period;
+    let bit_s = 8.0 * sys.radar.t_period;
+    let n_bits = sys.frame_chirps / 8;
+    (0..n_frames as u64)
+        .map(|id| {
+            let seed = splitmix64(base_seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let bits_for = |slot: usize| -> Vec<bool> {
+                let mut s = splitmix64(seed ^ slot as u64);
+                (0..n_bits)
+                    .map(|_| {
+                        s = splitmix64(s);
+                        s & 1 == 1
+                    })
+                    .collect()
+            };
+            // Odd Doppler bins 5, 7, 9, … keep the tags' fundamentals (and
+            // any in-band harmonics) on distinct map rows.
+            let freq_for = |slot: usize| (5 + 2 * slot) as f64 / frame_s;
+            let mut scenario = IsacScenario::single_tag(2.0, freq_for(0));
+            scenario.uplink_bits = bits_for(0);
+            scenario.uplink_scheme = UplinkScheme::Ook {
+                freq_hz: freq_for(0),
+            };
+            scenario.uplink_bit_duration_s = bit_s;
+            for t in 1..tags_per_frame {
+                scenario = scenario.with_extra_tag(TagDeployment {
+                    range_m: 2.0 + 0.8 * t as f64,
+                    mod_freq_hz: freq_for(t),
+                    uplink_bits: if t % 2 == 0 { Vec::new() } else { bits_for(t) },
+                    uplink_scheme: UplinkScheme::Ook {
+                        freq_hz: freq_for(t),
+                    },
+                    uplink_bit_duration_s: bit_s,
+                });
+            }
+            scenario.clutter = vec![ClutterSpec {
+                range_m: 7.5,
+                relative_amp: 5.0,
+            }];
+            let payload = seed.to_be_bytes()[..4].to_vec();
+            FrameJob {
+                id,
+                radar_id: 0,
+                tag_id: 0,
+                scenario,
+                payload,
+                seed,
+            }
+        })
+        .collect()
 }
 
 /// A reduced-cost `paper_9ghz` system for streaming tests, examples, and

@@ -6,7 +6,7 @@
 
 use biscatter_runtime::pipeline::{run_serial, run_streaming, RuntimeConfig, StageWorkers};
 use biscatter_runtime::queue::Backpressure;
-use biscatter_runtime::source::{streaming_system, WorkloadSpec};
+use biscatter_runtime::source::{multi_tag_jobs, streaming_system, WorkloadSpec};
 
 /// The ISSUE acceptance workload: a seeded 4-radar × 8-tag stream of 200+
 /// frames through bounded queues must lose nothing under blocking
@@ -84,6 +84,54 @@ fn streaming_matches_one_shot_path() {
             assert_eq!(s, r, "frame {sid} diverged from the one-shot path");
         }
     }
+}
+
+/// Multi-tag frames route through the batched detect stage; streamed
+/// outcomes must still match the one-shot path bit for bit, every tag must
+/// be reported, and most tags should be found and decoded.
+#[test]
+fn multi_tag_stream_matches_one_shot_path() {
+    let sys = streaming_system();
+    let jobs = multi_tag_jobs(&sys, 12, 4, 11);
+    let serial = run_serial(&sys, &jobs);
+
+    for (workers, capacity) in [(StageWorkers::uniform(1), 2), (StageWorkers::uniform(2), 4)] {
+        let cfg = RuntimeConfig {
+            queue_capacity: capacity,
+            policy: Backpressure::Block,
+            workers,
+            ..RuntimeConfig::default()
+        };
+        let streamed = run_streaming(&sys, jobs.clone(), &cfg);
+        assert_eq!(streamed.outcomes.len(), serial.len());
+        for ((sid, s), (rid, r)) in streamed.outcomes.iter().zip(&serial) {
+            assert_eq!(sid, rid);
+            assert_eq!(s, r, "multi-tag frame {sid} diverged from one-shot");
+        }
+    }
+
+    // Sanity on content: each frame reports all 4 tags, the primary's bits
+    // surface in `uplink_bits`, and most tags localize + decode.
+    let mut located = 0usize;
+    let mut decoded = 0usize;
+    let mut total = 0usize;
+    for (_, o) in &serial {
+        assert_eq!(o.tags.len(), 4);
+        assert_eq!(o.location, o.tags[0].location);
+        if o.tags[0].location.is_some() {
+            assert_eq!(
+                o.uplink_bits.as_deref(),
+                o.tags[0].uplink.as_ref().map(|d| &d.bits[..])
+            );
+        }
+        for t in &o.tags {
+            total += 1;
+            located += t.location.is_some() as usize;
+            decoded += t.uplink.is_some() as usize;
+        }
+    }
+    assert!(located * 10 >= total * 8, "only {located}/{total} located");
+    assert!(decoded * 10 >= total * 7, "only {decoded}/{total} decoded");
 }
 
 /// Same spec + same seed streamed twice must give identical outcomes
