@@ -1,0 +1,105 @@
+//! CI smoke check for `BISCATTER_TRACE` output: parses a Chrome trace-event
+//! file written by the streaming runtime and asserts it is a plausible
+//! whole-pipeline trace, not an empty or single-subsystem one.
+//!
+//! Usage: `check_trace <path/to/trace.json>`
+//!
+//! Checks performed:
+//! * the file parses with `biscatter_core::json` (same parser Perfetto-bound
+//!   tooling in this repo uses);
+//! * it contains complete-span (`"ph": "X"`) events from at least three
+//!   distinct subsystems (the `cat` field — `runtime`, `isac`, `compute`, …);
+//! * at least one span carries a propagated `args.frame_id`;
+//! * thread-name metadata (`"ph": "M"`) is present, so Perfetto labels rows;
+//! * the embedded `"registry"` snapshot exists and is non-empty.
+//!
+//! Exits non-zero with a message on any failure; prints a summary otherwise.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use biscatter_core::json::{parse, Value};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_trace: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        return fail("usage: check_trace <trace.json>");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(err) => return fail(&format!("cannot read {path}: {err}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(err) => return fail(&format!("{path} is not valid JSON: {err}")),
+    };
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_array) else {
+        return fail("no `traceEvents` array — not a Chrome trace");
+    };
+
+    let mut spans_per_cat: BTreeMap<String, usize> = BTreeMap::new();
+    let mut frames_seen = std::collections::BTreeSet::new();
+    let mut thread_names = 0usize;
+    for ev in events {
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("X") => {
+                let cat = ev.get("cat").and_then(Value::as_str).unwrap_or("?");
+                *spans_per_cat.entry(cat.to_string()).or_default() += 1;
+                if let Some(id) = ev
+                    .get("args")
+                    .and_then(|a| a.get("frame_id"))
+                    .and_then(Value::as_f64)
+                {
+                    frames_seen.insert(id as u64);
+                }
+            }
+            Some("M") => thread_names += 1,
+            _ => {}
+        }
+    }
+
+    let total_spans: usize = spans_per_cat.values().sum();
+    if spans_per_cat.len() < 3 {
+        return fail(&format!(
+            "spans from only {} subsystem(s) ({:?}); expected >= 3 of runtime/isac/compute/multitag",
+            spans_per_cat.len(),
+            spans_per_cat.keys().collect::<Vec<_>>()
+        ));
+    }
+    if frames_seen.is_empty() {
+        return fail("no span carries an `args.frame_id` — propagation is broken");
+    }
+    if thread_names == 0 {
+        return fail("no thread_name metadata events — Perfetto rows would be unlabeled");
+    }
+    // The registry snapshot keys counters by metric name; spot-check one
+    // counter from each instrumented subsystem.
+    let registry_ok = ["dsp.plan_cache.hits", "compute.fork_join.calls"]
+        .iter()
+        .all(|name| {
+            doc.get("registry")
+                .and_then(|r| r.get("counters"))
+                .and_then(|c| c.get(name))
+                .and_then(Value::as_f64)
+                .is_some()
+        });
+    if !registry_ok {
+        return fail("embedded `registry` snapshot is missing or empty");
+    }
+
+    println!(
+        "check_trace: OK: {total_spans} spans across {} subsystems {:?}, \
+         {} distinct frame ids, {thread_names} named threads, registry present",
+        spans_per_cat.len(),
+        spans_per_cat
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>(),
+        frames_seen.len(),
+    );
+    ExitCode::SUCCESS
+}

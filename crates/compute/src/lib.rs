@@ -40,9 +40,43 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use biscatter_obs::metrics::{Counter, Gauge};
+use biscatter_obs::trace;
+
+/// Registry handles for pool telemetry, resolved once per process and then
+/// updated with relaxed atomics (no lock, no allocation on the hot path).
+struct PoolMetrics {
+    /// Parallel regions launched (one per `run_indexed` that fans out).
+    fork_join_calls: Counter,
+    /// Total indices across those regions.
+    fork_join_tasks: Counter,
+    /// Nanoseconds threads spent draining regions (caller included).
+    worker_busy_ns: Counter,
+    /// Indices claimed by drain participations (chunk count).
+    worker_chunks: Counter,
+    /// Busy fraction of the whole pool over the last region's wall time.
+    /// Slight undercount possible: stragglers may still be adding busy time
+    /// when the waiter samples — it is a gauge, not an invariant.
+    utilization: Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = biscatter_obs::registry();
+        PoolMetrics {
+            fork_join_calls: r.counter("compute.fork_join.calls"),
+            fork_join_tasks: r.counter("compute.fork_join.tasks"),
+            worker_busy_ns: r.counter("compute.worker.busy_ns"),
+            worker_chunks: r.counter("compute.worker.chunks"),
+            utilization: r.gauge("compute.pool.utilization"),
+        }
+    })
+}
 
 // ---------------------------------------------------------------------------
 // Latch: counts outstanding tasks of one scope/region, carries the first
@@ -133,6 +167,12 @@ struct Region {
     next: AtomicUsize,
     completed: AtomicUsize,
     latch: Arc<Latch>,
+    /// Frame id current on the spawning thread, forwarded so worker-side
+    /// spans (and any spans `f` opens) tag the same frame as the caller.
+    frame_id: u64,
+    /// Nanoseconds participants spent draining this region, for the
+    /// utilization gauge.
+    busy_ns: AtomicU64,
 }
 
 // SAFETY: `f` is only dereferenced while the spawning `run_indexed` call is
@@ -147,23 +187,38 @@ impl Region {
     /// `f` are caught and recorded; the claimed index still counts as
     /// completed so waiters are always released.
     fn drain(&self) {
+        let mut i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.n {
+            return; // never claimed anything: no busy time, no span
+        }
+        let _fs = trace::frame_scope(self.frame_id);
+        let start_ns = trace::now_ns();
+        let t0 = Instant::now();
+        let mut claimed: u64 = 0;
         loop {
-            let i = self.next.fetch_add(1, Ordering::Relaxed);
-            if i >= self.n {
-                return;
-            }
             // SAFETY: the spawning caller keeps `f` alive until
             // `completed == n` (latch wait below runs even on unwind).
             let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*self.f)(i) }));
             if let Err(payload) = result {
                 self.latch.record_panic(payload);
             }
+            claimed += 1;
             // AcqRel chain: the final increment happens-after every task's
             // writes, so the waiter observes all results once released.
             if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
                 self.latch.complete_one();
             }
+            i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                break;
+            }
         }
+        let busy_ns = t0.elapsed().as_nanos() as u64;
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+        let m = pool_metrics();
+        m.worker_busy_ns.add(busy_ns);
+        m.worker_chunks.add(claimed);
+        trace::record_span("compute.worker", self.frame_id, start_ns, busy_ns);
     }
 }
 
@@ -320,6 +375,12 @@ impl ComputePool {
             }
             return;
         }
+        let m = pool_metrics();
+        m.fork_join_calls.inc();
+        m.fork_join_tasks.add(n as u64);
+        let frame_id = trace::current_frame();
+        let span_start = trace::now_ns();
+        let t0 = Instant::now();
         let latch = Arc::new(Latch::new());
         latch.add(1);
         // SAFETY: erasing the closure's lifetime is sound because this
@@ -338,6 +399,8 @@ impl ComputePool {
             next: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             latch: Arc::clone(&latch),
+            frame_id,
+            busy_ns: AtomicU64::new(0),
         });
         let clones = (self.threads - 1).min(n - 1);
         {
@@ -353,6 +416,13 @@ impl ComputePool {
         };
         region.drain();
         drop(guard); // blocks until stragglers on other threads finish
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        if wall_ns > 0 {
+            let busy = region.busy_ns.load(Ordering::Relaxed) as f64;
+            m.utilization
+                .set(busy / (wall_ns as f64 * self.threads as f64));
+        }
+        trace::record_span("compute.fork_join", frame_id, span_start, wall_ns);
         if let Some(payload) = latch.take_panic() {
             resume_unwind(payload);
         }

@@ -245,7 +245,7 @@ pub struct AlignedPair {
 /// multi-thread pool additionally allocates a handful of small control
 /// blocks per parallel region; stages 1 and 5 build fresh outputs — packets,
 /// detections — by design.)
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FrameArena {
     /// Stage 2 IF sample slabs.
     pub if_slabs: Pool<SampleSlab>,
@@ -262,6 +262,22 @@ pub struct FrameArena {
     pub multitag: Pool<MultiTagScratch>,
 }
 
+impl Default for FrameArena {
+    /// Pools are named, so every arena reports lease hit/miss counters and
+    /// outstanding high-water gauges under `arena.isac.*` in the global
+    /// metric registry (arenas sharing the process share the cells).
+    fn default() -> Self {
+        FrameArena {
+            if_slabs: Pool::named("isac.if_slabs"),
+            aligned: Pool::named("isac.aligned"),
+            maps: Pool::named("isac.maps"),
+            scratch: Pool::named("isac.scratch"),
+            banks: Pool::named("isac.banks"),
+            multitag: Pool::named("isac.multitag"),
+        }
+    }
+}
+
 /// Stage 1 — frame synthesis: builds the chirp train, runs the tag-side
 /// downlink decode at the scenario's SNR, and assembles the radar scene.
 pub fn synthesize_frame(
@@ -270,6 +286,7 @@ pub fn synthesize_frame(
     payload: &[u8],
     seed: u64,
 ) -> SynthesizedFrame {
+    let _span = biscatter_obs::span!("isac.synthesize");
     let packet = DownlinkPacket::new(payload.to_vec());
     let (train, _symbols, _) =
         isac_frame(&packet, &sys.alphabet, sys.radar.t_period, sys.frame_chirps)
@@ -383,6 +400,7 @@ pub fn dechirp_stage(
     scene: &Scene,
     seed: u64,
 ) -> Vec<Vec<f64>> {
+    let _span = biscatter_obs::span!("isac.dechirp");
     let rx = IfReceiver {
         sample_rate_hz: sys.rx.if_sample_rate,
         noise_sigma: 1.0,
@@ -402,6 +420,7 @@ pub fn dechirp_stage_into(
     seed: u64,
     out: &mut SampleSlab,
 ) {
+    let _span = biscatter_obs::span!("isac.dechirp");
     let rx = IfReceiver {
         sample_rate_hz: sys.rx.if_sample_rate,
         noise_sigma: 1.0,
@@ -433,6 +452,7 @@ pub fn align_stage_into<R: ChirpRows + ?Sized>(
     if_data: &R,
     out: &mut AlignedPair,
 ) {
+    let _span = biscatter_obs::span!("isac.align");
     align_frame_into(pool, &sys.rx, train, if_data, &mut out.comms);
     let sensing_cfg = RxConfig {
         background_subtraction: false,
@@ -452,6 +472,7 @@ pub fn doppler_stage(pair: &AlignedPair) -> RangeDopplerMap {
 /// [`doppler_stage`] recycling `out`'s power slab, splitting range columns
 /// across `pool`.
 pub fn doppler_stage_into(pool: &ComputePool, pair: &AlignedPair, out: &mut RangeDopplerMap) {
+    let _span = biscatter_obs::span!("isac.doppler");
     range_doppler_into(pool, &pair.comms, out);
 }
 
@@ -479,6 +500,7 @@ pub fn detect_stage_with(
     downlink: FrameOutcome,
     mean_power: &mut Vec<f64>,
 ) -> IsacOutcome {
+    let _span = biscatter_obs::span!("isac.detect");
     let location = locate_tag(map, scenario.tag_mod_freq_hz, 10.0);
     let uplink_bits = if scenario.uplink_bits.is_empty() {
         None
@@ -547,6 +569,7 @@ pub fn detect_stage_multi(
     scratch: &mut MultiTagScratch,
     mean_power: &mut Vec<f64>,
 ) -> IsacOutcome {
+    let _span = biscatter_obs::span!("isac.detect");
     let mut profiles = Vec::new();
     scenario.tag_profiles_into(&mut profiles);
     bank.set_tags(&profiles);

@@ -22,15 +22,20 @@
 
 pub use biscatter_dsp as dsp;
 pub use biscatter_link as link;
+pub use biscatter_obs as obs;
 pub use biscatter_radar as radar;
 pub use biscatter_rf as rf;
 pub use biscatter_tag as tag;
+
+/// The workspace's hand-rolled JSON tree and parser (lives in
+/// [`biscatter_obs`] so the trace exporter can use it; re-exported here for
+/// the historical `biscatter_core::json` path).
+pub use biscatter_obs::json;
 
 pub mod baselines;
 pub mod downlink;
 pub mod experiment;
 pub mod isac;
-pub mod json;
 pub mod multiradar;
 pub mod spread;
 pub mod system;

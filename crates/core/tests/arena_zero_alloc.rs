@@ -8,6 +8,11 @@
 //! two warm-up frames size every buffer, then a third frame must allocate
 //! exactly zero times on the measuring thread.
 //!
+//! Tracing is **enabled** for the whole test: the obs layer promises that
+//! enabled-path span recording never allocates in steady state (the
+//! per-thread ring and the registry handles are set up during warm-up), so
+//! the audit holds with full telemetry on.
+//!
 //! The counter is thread-local, so the (single) test is immune to allocator
 //! traffic from the harness's other threads. This file must keep exactly one
 //! `#[test]` for that isolation to stay meaningful.
@@ -62,6 +67,7 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_frame_stages_allocate_nothing() {
+    biscatter_core::obs::trace::set_enabled(true);
     let pool = ComputePool::new(1);
     let sys = BiScatterSystem::paper_9ghz();
     let scenario = IsacScenario::single_tag(3.0, 16.0 / (128.0 * 120e-6)).with_office_clutter();

@@ -10,12 +10,32 @@
 //! Pools are `Arc`-internal and thread-safe, so leases can flow through the
 //! runtime pipeline's queues and be returned from a different thread than
 //! the one that checked them out.
+//!
+//! Pools built with [`Pool::named`] additionally publish lease hit/miss
+//! counters and an outstanding-lease high-water gauge into the
+//! [`biscatter_obs`] registry (`arena.<name>.*`), so a streaming run can
+//! prove its free lists actually recycle; anonymous [`Pool::new`] pools
+//! stay metric-free. The stat updates are relaxed atomics — no extra
+//! locking, no allocation on the lease path.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use biscatter_obs::metrics::{Counter, Gauge};
+
+/// Registry handles plus the live outstanding-lease count for one named
+/// pool.
+struct PoolStats {
+    hits: Counter,
+    misses: Counter,
+    outstanding: AtomicU64,
+    outstanding_hiwat: Gauge,
+}
 
 struct PoolInner<T> {
     free: Mutex<Vec<T>>,
+    stats: Option<PoolStats>,
 }
 
 /// A free-list of reusable `T` values. Cloning the pool clones the handle,
@@ -45,11 +65,31 @@ impl<T> std::fmt::Debug for Pool<T> {
 }
 
 impl<T> Pool<T> {
-    /// Creates an empty pool.
+    /// Creates an empty pool with no registry metrics.
     pub fn new() -> Self {
         Pool {
             inner: Arc::new(PoolInner {
                 free: Mutex::new(Vec::new()),
+                stats: None,
+            }),
+        }
+    }
+
+    /// Creates an empty pool that reports `arena.<name>.lease_hits`,
+    /// `arena.<name>.lease_misses`, and the `arena.<name>.outstanding_hiwat`
+    /// gauge to the global metric registry. Pools sharing a name share the
+    /// registry cells (their stats sum).
+    pub fn named(name: &str) -> Self {
+        let r = biscatter_obs::registry();
+        Pool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::new()),
+                stats: Some(PoolStats {
+                    hits: r.counter(&format!("arena.{name}.lease_hits")),
+                    misses: r.counter(&format!("arena.{name}.lease_misses")),
+                    outstanding: AtomicU64::new(0),
+                    outstanding_hiwat: r.gauge(&format!("arena.{name}.outstanding_hiwat")),
+                }),
             }),
         }
     }
@@ -59,6 +99,15 @@ impl<T> Pool<T> {
     /// this pool when dropped.
     pub fn take_or(&self, make: impl FnOnce() -> T) -> Lease<T> {
         let value = self.inner.free.lock().unwrap().pop();
+        if let Some(stats) = &self.inner.stats {
+            if value.is_some() {
+                stats.hits.inc();
+            } else {
+                stats.misses.inc();
+            }
+            let now = stats.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+            stats.outstanding_hiwat.set_max(now as f64);
+        }
         Lease {
             value: Some(value.unwrap_or_else(make)),
             pool: Arc::clone(&self.inner),
@@ -100,6 +149,11 @@ impl<T> DerefMut for Lease<T> {
 
 impl<T> Drop for Lease<T> {
     fn drop(&mut self) {
+        // The lease ends here whether the value is returned or was detached
+        // by into_inner, so the outstanding count always decrements once.
+        if let Some(stats) = &self.pool.stats {
+            stats.outstanding.fetch_sub(1, Ordering::Relaxed);
+        }
         if let Some(value) = self.value.take() {
             self.pool.free.lock().unwrap().push(value);
         }
@@ -151,5 +205,33 @@ mod tests {
         let pool2 = pool.clone();
         std::thread::spawn(move || drop(lease)).join().unwrap();
         assert_eq!(pool2.idle(), 1);
+    }
+
+    #[test]
+    fn named_pool_reports_hits_misses_and_hiwat() {
+        let pool: Pool<Vec<u8>> = Pool::named("test.arena_unit");
+        let snap = || biscatter_obs::registry().snapshot();
+        let base_hits = snap().counter("arena.test.arena_unit.lease_hits").unwrap();
+        let base_misses = snap()
+            .counter("arena.test.arena_unit.lease_misses")
+            .unwrap();
+
+        let a = pool.take_or(|| vec![0; 4]); // miss
+        let b = pool.take_or(|| vec![0; 4]); // miss, 2 outstanding
+        drop(a);
+        drop(b);
+        let c = pool.take_or(|| vec![0; 4]); // hit
+        drop(c);
+
+        let s = snap();
+        assert_eq!(
+            s.counter("arena.test.arena_unit.lease_hits"),
+            Some(base_hits + 1)
+        );
+        assert_eq!(
+            s.counter("arena.test.arena_unit.lease_misses"),
+            Some(base_misses + 2)
+        );
+        assert!(s.gauge("arena.test.arena_unit.outstanding_hiwat").unwrap() >= 2.0);
     }
 }

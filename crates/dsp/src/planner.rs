@@ -36,9 +36,39 @@
 use crate::complex::Cpx;
 use crate::fft::{is_pow2, next_pow2};
 use crate::TAU;
+use biscatter_obs::metrics::Counter;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// Registry handles for plan-cache telemetry, resolved once per process.
+/// Hits/misses count lookups in *any* thread's planner (the caches are
+/// per-thread, the counters are global), so a streaming run's hit rate
+/// reflects how well `warm_dsp_plans` pre-seeded the workers.
+struct PlanCacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    built_radix2: Counter,
+    built_bluestein: Counter,
+    built_rfft: Counter,
+    rfft_calls: Counter,
+}
+
+fn cache_metrics() -> &'static PlanCacheMetrics {
+    static METRICS: OnceLock<PlanCacheMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = biscatter_obs::registry();
+        PlanCacheMetrics {
+            hits: r.counter("dsp.plan_cache.hits"),
+            misses: r.counter("dsp.plan_cache.misses"),
+            built_radix2: r.counter("dsp.plan_cache.built_radix2"),
+            built_bluestein: r.counter("dsp.plan_cache.built_bluestein"),
+            built_rfft: r.counter("dsp.plan_cache.built_rfft"),
+            rfft_calls: r.counter("dsp.fft.rfft_calls"),
+        }
+    })
+}
 
 /// A reusable transform plan for one length.
 ///
@@ -389,14 +419,21 @@ impl FftPlanner {
     /// The cached plan for length `n`, building it on first use. Bluestein
     /// lengths share their inner power-of-two plan with the cache.
     pub fn plan(&mut self, n: usize) -> Rc<FftPlan> {
+        let cm = cache_metrics();
         if let Some(p) = self.plans.get(&n) {
+            cm.hits.inc();
             return Rc::clone(p);
         }
+        cm.misses.inc();
         let plan = if !is_pow2(n) && n > 1 {
+            cm.built_bluestein.inc();
             let m = next_pow2(2 * n - 1);
             let inner = self.plan(m);
             Rc::new(FftPlan::build(n, |_| inner))
         } else {
+            if n > 1 {
+                cm.built_radix2.inc();
+            }
             Rc::new(FftPlan::new(n))
         };
         self.plans.insert(n, Rc::clone(&plan));
@@ -409,9 +446,13 @@ impl FftPlanner {
     /// # Panics
     /// Panics if `n` is odd or zero.
     pub fn rfft_plan(&mut self, n: usize) -> Rc<RfftPlan> {
+        let cm = cache_metrics();
         if let Some(p) = self.rplans.get(&n) {
+            cm.hits.inc();
             return Rc::clone(p);
         }
+        cm.misses.inc();
+        cm.built_rfft.inc();
         let inner = self.plan(n / 2);
         let plan = Rc::new(RfftPlan::build(n, |_| inner));
         self.rplans.insert(n, Rc::clone(&plan));
@@ -441,6 +482,7 @@ impl FftPlanner {
             return;
         }
         if n % 2 == 0 {
+            cache_metrics().rfft_calls.inc();
             let plan = self.rfft_plan(n);
             plan.process_with_scratch(input, out, &mut self.pack);
         } else {

@@ -3,8 +3,11 @@
 //!
 //! The workspace must build with no registry access, so `serde`/`serde_json`
 //! are not available; this module covers the small amount of JSON the
-//! project actually needs — experiment tables ([`crate::experiment`]) and
-//! runtime metrics snapshots. The emitted layout matches what
+//! project actually needs — experiment tables, metrics snapshots, and the
+//! Chrome trace-event documents produced by [`crate::trace`]. It lives in
+//! this bottom-of-the-stack crate (and is re-exported as
+//! `biscatter_core::json`) so the trace exporter can use it without a
+//! dependency cycle. The emitted layout matches what
 //! `serde_json::to_string_pretty` produced for the same shapes, so the
 //! checked-in `results/*.json` files remain parseable.
 

@@ -1,0 +1,39 @@
+//! biscatter-obs: dependency-free observability for the B-ISAC workspace.
+//!
+//! Sits at the very bottom of the crate stack (no biscatter dependencies)
+//! so every layer — DSP planner, compute pool, arenas, radar receivers, the
+//! streaming runtime — can emit telemetry through one mechanism:
+//!
+//! * [`trace`] — lightweight spans recorded into preallocated per-thread
+//!   ring buffers behind a relaxed-atomic enable bit. Disabled cost is one
+//!   load + branch; enabled steady state never allocates (the workspace's
+//!   zero-alloc audits run with tracing on). [`trace::TraceCollector`]
+//!   drains the rings into Chrome trace-event JSON for Perfetto.
+//! * [`metrics`] — the [`metrics::LatencyHistogram`] (moved here from the
+//!   runtime so any crate can use it) plus a process-wide [`metrics::registry`]
+//!   of named counters / gauges / histograms with text + JSON export.
+//! * [`json`] — the workspace's hand-rolled JSON tree (moved here from
+//!   `biscatter-core`, which re-exports it), used by both exporters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::registry;
+
+/// Opens a [`trace::Span`] guard: `span!("isac.align")` tags it with the
+/// thread's current frame id, `span!("isac.align", frame_id)` with an
+/// explicit one. Bind the result (`let _span = span!(...)`) — the span
+/// measures until the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+    ($name:expr, $frame:expr) => {
+        $crate::trace::span_frame($name, $frame)
+    };
+}

@@ -1,0 +1,519 @@
+//! Metric primitives and the process-wide registry.
+//!
+//! Two layers live here. The bottom layer is the concurrent log-bucketed
+//! [`LatencyHistogram`] and its immutable [`LatencySnapshot`] (moved down
+//! from `biscatter-runtime` so every crate can record latencies without a
+//! dependency on the runtime; the runtime re-exports them unchanged). The
+//! top layer is a global [`Registry`] of named counters, gauges, and
+//! histograms: any crate calls [`registry()`], asks for a handle once, and
+//! then updates it with relaxed atomic ops — no locks, no allocation on the
+//! hot path. Handles are cheap `Arc` clones of the underlying cell, so the
+//! same name always resolves to the same storage no matter which crate (or
+//! thread) registered it first.
+//!
+//! Naming convention: dot-separated `subsystem.object.metric`, e.g.
+//! `dsp.plan_cache.hits` or `arena.isac.maps.lease_misses`. The snapshot
+//! exporters sort by name, so related metrics group together in the output.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::Value;
+
+/// Number of power-of-two latency buckets. Bucket `i` counts samples with
+/// `ns < 2^i` (and `>= 2^(i-1)` for `i > 0`); 48 buckets span ~78 hours.
+const BUCKETS: usize = 48;
+
+/// Concurrent log-bucketed histogram of durations.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one sample already expressed in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Copies the histogram into an immutable [`LatencySnapshot`].
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone)]
+pub struct LatencySnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency over all samples.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns / self.count)
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Estimated latency at quantile `q` in `[0, 1]`, resolved to the upper
+    /// edge of the log bucket containing that rank (≤ 2x overestimate).
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                // i ≤ BUCKETS - 1 = 47, so the shift cannot overflow; the
+                // top bucket's nominal 2^47 edge is clamped to the exact
+                // max below, like every other bucket.
+                let upper_ns = 1u64 << i;
+                return Duration::from_nanos(upper_ns.min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Bucket-exact aggregation of two snapshots, as if every sample behind
+    /// both had been recorded into one histogram. `mean`/`percentile`/`max`
+    /// of the result match that combined histogram exactly (saturating if
+    /// the summed `sum_ns` overflows, same as the live histogram's counter
+    /// wrap — irrelevant below ~584 years of accumulated latency).
+    pub fn merge(&self, other: &LatencySnapshot) -> LatencySnapshot {
+        LatencySnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+            count: self.count + other.count,
+            sum_ns: self.sum_ns.saturating_add(other.sum_ns),
+            max_ns: self.max_ns.max(other.max_ns),
+        }
+    }
+
+    /// The standard JSON fields (`count`, `mean_us`, `p50/p90/p99_us`,
+    /// `max_us`) used wherever a histogram is exported.
+    pub fn json_fields(&self) -> BTreeMap<String, Value> {
+        let mut m = BTreeMap::new();
+        m.insert("count".to_string(), Value::Number(self.count() as f64));
+        m.insert(
+            "mean_us".to_string(),
+            Value::Number(self.mean().as_secs_f64() * 1e6),
+        );
+        for (key, q) in [("p50_us", 0.50), ("p90_us", 0.90), ("p99_us", 0.99)] {
+            m.insert(
+                key.to_string(),
+                Value::Number(self.percentile(q).as_secs_f64() * 1e6),
+            );
+        }
+        m.insert(
+            "max_us".to_string(),
+            Value::Number(self.max().as_secs_f64() * 1e6),
+        );
+        m
+    }
+}
+
+/// Handle to a monotonically increasing named counter. Clones share the cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a named last-value gauge holding an `f64`. Clones share the cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water semantics).
+    /// Lock-free CAS loop; concurrent raisers converge on the max.
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < v {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a named histogram in the registry. Clones share the histogram.
+#[derive(Clone)]
+pub struct Histogram(Arc<LatencyHistogram>);
+
+impl Histogram {
+    /// Records one duration sample.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.0.record(d);
+    }
+
+    /// Records one sample already expressed in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.0.record_ns(ns);
+    }
+
+    /// Copies the histogram into an immutable snapshot.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// Process-wide table of named metrics. Obtain it via [`registry()`];
+/// registration takes a lock, but the returned handles are pure atomics.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<LatencyHistogram>>>,
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating it at zero on
+    /// first use. Cache the handle — this takes the registry lock.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(cell) = map.get(name) {
+            return Counter(Arc::clone(cell));
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), Arc::clone(&cell));
+        Counter(cell)
+    }
+
+    /// Returns the gauge registered under `name`, creating it at `0.0` on
+    /// first use. Cache the handle — this takes the registry lock.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        if let Some(cell) = map.get(name) {
+            return Gauge(Arc::clone(cell));
+        }
+        let cell = Arc::new(AtomicU64::new(0.0f64.to_bits()));
+        map.insert(name.to_string(), Arc::clone(&cell));
+        Gauge(cell)
+    }
+
+    /// Returns the histogram registered under `name`, creating it empty on
+    /// first use. Cache the handle — this takes the registry lock.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return Histogram(Arc::clone(h));
+        }
+        let h = Arc::new(LatencyHistogram::default());
+        map.insert(name.to_string(), Arc::clone(&h));
+        Histogram(h)
+    }
+
+    /// Copies every registered metric into an immutable snapshot.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Immutable copy of every metric in a [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, ascending by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` pairs, ascending by name.
+    pub histograms: Vec<(String, LatencySnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// True when no metric of any kind was registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram snapshot by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&LatencySnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders an aligned human-readable listing.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            return out;
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name:<width$}  {v:.3}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name:<width$}  n={} mean={:.1}us p99={:.1}us max={:.1}us\n",
+                h.count(),
+                h.mean().as_secs_f64() * 1e6,
+                h.percentile(0.99).as_secs_f64() * 1e6,
+                h.max().as_secs_f64() * 1e6,
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON value with `counters` / `gauges` /
+    /// `histograms` objects keyed by metric name.
+    pub fn to_json(&self) -> Value {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "counters".to_string(),
+            Value::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Number(*v as f64)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Value::Object(
+                self.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Number(*v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "histograms".to_string(),
+            Value::Object(
+                self.histograms
+                    .iter()
+                    .map(|(k, h)| (k.clone(), Value::Object(h.json_fields())))
+                    .collect(),
+            ),
+        );
+        Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentile_brackets_samples() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        // p50 falls in the bucket holding 20-40us samples; log buckets may
+        // overestimate by up to 2x but never land above the max sample.
+        let p50 = s.percentile(0.50);
+        assert!(p50 >= Duration::from_micros(20) && p50 <= Duration::from_micros(128));
+        assert_eq!(s.max(), Duration::from_micros(1000));
+        assert!(s.percentile(1.0) <= s.max());
+        assert_eq!(s.mean(), Duration::from_micros(220));
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0;
+        for ns in [0u64, 1, 2, 3, 1000, 1_000_000, u64::MAX] {
+            let b = bucket_index(ns);
+            assert!(b >= last);
+            assert!(b < BUCKETS);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn top_bucket_upper_edge_is_clamped_to_max() {
+        // Everything from 2^46 ns (~20 hours) up lands in bucket 47; the
+        // reported percentile for that bucket must be its nominal 2^47 edge
+        // clamped to the exact recorded max, never an u64::MAX sentinel.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(u64::MAX));
+        let s = h.snapshot();
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(s.percentile(0.5), Duration::from_nanos(1u64 << 47));
+        assert_eq!(s.max(), Duration::from_nanos(u64::MAX));
+
+        // A max *below* the top bucket's edge clamps the other way.
+        let h = LatencyHistogram::default();
+        let ns = (1u64 << 46) + 123;
+        h.record(Duration::from_nanos(ns));
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.99), Duration::from_nanos(ns));
+    }
+
+    #[test]
+    fn registry_handles_share_cells_by_name() {
+        let r = Registry::default();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+
+        let g = r.gauge("x.depth");
+        g.set(4.0);
+        g.set_max(2.0); // lower: ignored
+        g.set_max(9.5);
+        assert_eq!(r.gauge("x.depth").get(), 9.5);
+
+        let h = r.histogram("x.lat");
+        h.record(Duration::from_micros(5));
+        assert_eq!(r.histogram("x.lat").snapshot().count(), 1);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x.hits"), Some(3));
+        assert_eq!(snap.gauge("x.depth"), Some(9.5));
+        assert_eq!(snap.histogram("x.lat").map(LatencySnapshot::count), Some(1));
+        assert!(snap.counter("missing").is_none());
+        let text = snap.to_text();
+        assert!(text.contains("x.hits"));
+        let json = snap.to_json().to_compact();
+        assert!(json.contains("\"x.depth\""));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property test for `LatencySnapshot::merge`: merging the snapshots of two
+//! independently-recorded histograms must be *bucket-exact* — identical in
+//! every derived statistic to one histogram that recorded the concatenation
+//! of both sample sets. This is what makes per-worker histograms safe to
+//! aggregate at collection time.
+
+use std::time::Duration;
+
+use biscatter_obs::metrics::LatencyHistogram;
+use proptest::prelude::*;
+
+/// Sample sets spanning many buckets: mixes sub-microsecond, microsecond,
+/// and multi-second magnitudes so low, middle, and high buckets all fill.
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let h = LatencyHistogram::default();
+    for &ns in samples {
+        h.record(Duration::from_nanos(ns));
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_concatenated_histogram(
+        a in prop::collection::vec(0u64..=1u64 << 40, 0..64),
+        b in prop::collection::vec(0u64..=1u64 << 40, 0..64),
+    ) {
+        let sa = histogram_of(&a).snapshot();
+        let sb = histogram_of(&b).snapshot();
+        let merged = sa.merge(&sb);
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let oracle = histogram_of(&concat).snapshot();
+
+        prop_assert_eq!(merged.count(), oracle.count());
+        prop_assert_eq!(merged.mean(), oracle.mean());
+        prop_assert_eq!(merged.max(), oracle.max());
+        // Bucket-exact: every percentile resolves to the same bucket edge.
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.percentile(q), oracle.percentile(q));
+        }
+        // Merge is symmetric.
+        let flipped = sb.merge(&sa);
+        prop_assert_eq!(flipped.count(), merged.count());
+        prop_assert_eq!(flipped.percentile(0.5), merged.percentile(0.5));
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let s = histogram_of(&[100, 2_000, 5_000_000]).snapshot();
+    let empty = LatencyHistogram::default().snapshot();
+    let m = s.merge(&empty);
+    assert_eq!(m.count(), s.count());
+    assert_eq!(m.mean(), s.mean());
+    assert_eq!(m.max(), s.max());
+    for q in [0.1, 0.5, 0.9, 1.0] {
+        assert_eq!(m.percentile(q), s.percentile(q));
+    }
+}

@@ -43,7 +43,35 @@ use super::AlignedFrame;
 use biscatter_compute::ComputePool;
 use biscatter_dsp::goertzel::GoertzelCoeffs;
 use biscatter_dsp::spectrum::{noise_floor_inplace, parabolic_peak, Peak};
+use biscatter_obs::metrics::Counter;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Registry handles for batched-detection telemetry: how much work the
+/// band dedup avoids, and how many registered tags survive the SNR gate.
+struct MultitagMetrics {
+    /// Unique `(lo, hi)` bands actually accumulated (stage-1 tasks).
+    bands_accumulated: Counter,
+    /// Harmonic references that reused an already-accumulated band.
+    bands_deduped: Counter,
+    /// Tags whose peak passed the SNR gate (location produced).
+    tags_located: Counter,
+    /// Tags suppressed by the SNR gate.
+    tags_gated: Counter,
+}
+
+fn metrics() -> &'static MultitagMetrics {
+    static METRICS: OnceLock<MultitagMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = biscatter_obs::registry();
+        MultitagMetrics {
+            bands_accumulated: r.counter("multitag.bands.accumulated"),
+            bands_deduped: r.counter("multitag.bands.deduped"),
+            tags_located: r.counter("multitag.tags.located"),
+            tags_gated: r.counter("multitag.tags.gated"),
+        }
+    })
+}
 
 /// Everything the radar knows about one registered tag.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -263,6 +291,7 @@ pub fn detect_all(
     scratch: &mut MultiTagScratch,
     out: &mut Vec<TagDetection>,
 ) {
+    let _span = biscatter_obs::span!("multitag.detect_all");
     let k = bank.profiles.len();
     out.resize_with(k, TagDetection::default);
     if k == 0 {
@@ -280,6 +309,10 @@ pub fn detect_all(
     let cache = bank.cache.as_ref().expect("cache built above");
     let plans = &cache.plans;
     let bands = &cache.bands;
+    let m = metrics();
+    let harmonic_refs: u64 = plans.iter().map(|p| u64::from(p.n_harm)).sum();
+    m.bands_accumulated.add(bands.len() as u64);
+    m.bands_deduped.add(harmonic_refs - bands.len() as u64);
     let MultiTagScratch {
         band_slab,
         slots,
@@ -332,6 +365,11 @@ pub fn detect_all(
             power: slot.peak_power,
         };
         out[t].location = location_from(map, peak, slot.floor, bank.min_snr_db);
+        if out[t].location.is_some() {
+            m.tags_located.inc();
+        } else {
+            m.tags_gated.inc();
+        }
     }
 
     // Stage 4 (serial, cheap): collect decodable tags. Rows are sorted by

@@ -8,6 +8,11 @@
 //! global allocator: two warm-up detections size every buffer, then a third
 //! must allocate exactly zero times on the measuring thread.
 //!
+//! Tracing is **enabled** for the whole test: the obs layer promises that
+//! enabled-path span recording never allocates in steady state (the
+//! per-thread ring and the registry counter handles are set up during
+//! warm-up), so the audit holds with full telemetry on.
+//!
 //! The counter is thread-local, so the (single) test is immune to allocator
 //! traffic from the harness's other threads. This file must keep exactly one
 //! `#[test]` for that isolation to stay meaningful.
@@ -71,6 +76,7 @@ fn bin_freq(bin: usize) -> f64 {
 
 #[test]
 fn steady_state_multi_tag_detect_allocates_nothing() {
+    biscatter_obs::trace::set_enabled(true);
     // A beacon-per-tag scene: every profile localizes and decodes, so the
     // measured pass exercises the full band/score/amp/decode chain.
     let profiles: Vec<TagProfile> = (0..8)

@@ -34,8 +34,14 @@ pub mod source;
 /// (re-exported so runtime users can size or share a [`compute::ComputePool`]).
 pub use biscatter_compute as compute;
 
+/// The observability layer (re-exported so runtime users can toggle
+/// tracing, open spans, and read the metric registry without a direct
+/// `biscatter-obs` dependency).
+pub use biscatter_obs as obs;
+
 pub use metrics::{
-    LatencyHistogram, LatencySnapshot, MetricsSnapshot, StageMetrics, StageSnapshot,
+    LatencyHistogram, LatencySnapshot, MetricsSnapshot, RegistrySnapshot, StageMetrics,
+    StageSnapshot,
 };
 pub use pipeline::{run_serial, run_streaming, RunReport, RuntimeConfig, StageWorkers};
 pub use queue::{Backpressure, BoundedQueue};

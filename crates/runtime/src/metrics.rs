@@ -1,111 +1,25 @@
 //! Per-stage runtime metrics: frame counters, queue congestion, and
 //! log-bucketed latency histograms with percentile estimation.
 //!
-//! Counters are lock-free (`AtomicU64` with relaxed ordering — they are
-//! statistics, not synchronization), so recording from worker threads costs a
-//! few atomic adds per frame. A [`MetricsSnapshot`] is an immutable copy taken
-//! after (or during) a run, exportable as aligned text or JSON via
-//! [`biscatter_core::json`].
+//! The histogram types themselves ([`LatencyHistogram`], [`LatencySnapshot`])
+//! now live in [`biscatter_obs::metrics`] so every crate can record
+//! latencies; they are re-exported here unchanged. Counters are lock-free
+//! (`AtomicU64` with relaxed ordering — they are statistics, not
+//! synchronization), so recording from worker threads costs a few atomic
+//! adds per frame. Each stage also mirrors its latency into a global
+//! registry histogram (`runtime.stage.<name>.ns`), so cross-subsystem
+//! snapshots see stage timing next to planner/arena/pool telemetry. A
+//! [`MetricsSnapshot`] is an immutable copy taken after (or during) a run —
+//! including a [`RegistrySnapshot`] of every registered metric — exportable
+//! as aligned text or JSON via [`biscatter_core::json`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use biscatter_core::json::Value;
+use biscatter_obs::metrics::Histogram;
 
-/// Number of power-of-two latency buckets. Bucket `i` counts samples with
-/// `ns < 2^i` (and `>= 2^(i-1)` for `i > 0`); 48 buckets span ~78 hours.
-const BUCKETS: usize = 48;
-
-/// Concurrent log-bucketed histogram of durations.
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    max_ns: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
-        }
-    }
-}
-
-fn bucket_index(ns: u64) -> usize {
-    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
-}
-
-impl LatencyHistogram {
-    /// Records one duration sample.
-    pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
-    }
-
-    /// Copies the histogram into an immutable [`LatencySnapshot`].
-    pub fn snapshot(&self) -> LatencySnapshot {
-        LatencySnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
-            max_ns: self.max_ns.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Immutable copy of a [`LatencyHistogram`].
-#[derive(Debug, Clone)]
-pub struct LatencySnapshot {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_ns: u64,
-    max_ns: u64,
-}
-
-impl LatencySnapshot {
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency over all samples.
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos(self.sum_ns / self.count)
-    }
-
-    /// Largest recorded sample (exact, not bucketed).
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_ns)
-    }
-
-    /// Estimated latency at quantile `q` in `[0, 1]`, resolved to the upper
-    /// edge of the log bucket containing that rank (≤ 2x overestimate).
-    pub fn percentile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            cumulative += n;
-            if cumulative >= rank {
-                let upper_ns = if i >= 63 { u64::MAX } else { 1u64 << i };
-                return Duration::from_nanos(upper_ns.min(self.max_ns));
-            }
-        }
-        Duration::from_nanos(self.max_ns)
-    }
-}
+pub use biscatter_obs::metrics::{LatencyHistogram, LatencySnapshot, RegistrySnapshot};
 
 /// Live counters for one pipeline stage.
 pub struct StageMetrics {
@@ -113,6 +27,9 @@ pub struct StageMetrics {
     frames_in: AtomicU64,
     frames_out: AtomicU64,
     latency: LatencyHistogram,
+    /// Cumulative registry mirror of `latency` (`runtime.stage.<name>.ns`):
+    /// the local histogram is per-run, the registry one is per-process.
+    registry_latency: Histogram,
 }
 
 impl StageMetrics {
@@ -122,6 +39,8 @@ impl StageMetrics {
             frames_in: AtomicU64::new(0),
             frames_out: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
+            registry_latency: biscatter_obs::registry()
+                .histogram(&format!("runtime.stage.{name}.ns")),
         }
     }
 
@@ -134,6 +53,7 @@ impl StageMetrics {
         self.frames_in.fetch_add(1, Ordering::Relaxed);
         self.frames_out.fetch_add(1, Ordering::Relaxed);
         self.latency.record(took);
+        self.registry_latency.record(took);
     }
 
     /// Records a frame that entered the stage but was not emitted
@@ -141,6 +61,7 @@ impl StageMetrics {
     pub fn record_swallowed(&self, took: Duration) {
         self.frames_in.fetch_add(1, Ordering::Relaxed);
         self.latency.record(took);
+        self.registry_latency.record(took);
     }
 
     /// Copies the counters into an immutable [`StageSnapshot`], attaching the
@@ -181,6 +102,10 @@ pub struct MetricsSnapshot {
     /// Total frames dropped across all queues.
     pub total_drops: u64,
     pub elapsed: Duration,
+    /// Every metric in the global registry at snapshot time (plan cache,
+    /// arenas, compute pool, multitag, queue gauges, ...). Cumulative per
+    /// process, unlike the per-run stage counters above.
+    pub registry: RegistrySnapshot,
 }
 
 impl MetricsSnapshot {
@@ -192,7 +117,8 @@ impl MetricsSnapshot {
         self.frames_completed as f64 / self.elapsed.as_secs_f64()
     }
 
-    /// Renders an aligned human-readable table.
+    /// Renders an aligned human-readable table, followed by the registry
+    /// metrics listing.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -232,10 +158,15 @@ impl MetricsSnapshot {
             fmt_dur(self.end_to_end.percentile(0.99)),
             fmt_dur(self.end_to_end.max()),
         ));
+        if !self.registry.is_empty() {
+            out.push_str("registry:\n");
+            out.push_str(&self.registry.to_text());
+        }
         out
     }
 
-    /// Renders the snapshot as a JSON value.
+    /// Renders the snapshot as a JSON value (registry metrics included
+    /// under `"registry"`).
     pub fn to_json(&self) -> Value {
         let mut root = std::collections::BTreeMap::new();
         root.insert(
@@ -260,7 +191,7 @@ impl MetricsSnapshot {
                 self.stages
                     .iter()
                     .map(|s| {
-                        let mut m = latency_json(&s.latency);
+                        let mut m = s.latency.json_fields();
                         m.insert("name".to_string(), Value::String(s.name.to_string()));
                         m.insert("frames_in".to_string(), Value::Number(s.frames_in as f64));
                         m.insert("frames_out".to_string(), Value::Number(s.frames_out as f64));
@@ -279,36 +210,11 @@ impl MetricsSnapshot {
         );
         root.insert(
             "end_to_end".to_string(),
-            Value::Object(latency_json(&self.end_to_end)),
+            Value::Object(self.end_to_end.json_fields()),
         );
+        root.insert("registry".to_string(), self.registry.to_json());
         Value::Object(root)
     }
-}
-
-fn latency_json(l: &LatencySnapshot) -> std::collections::BTreeMap<String, Value> {
-    let mut m = std::collections::BTreeMap::new();
-    m.insert("count".to_string(), Value::Number(l.count() as f64));
-    m.insert(
-        "mean_us".to_string(),
-        Value::Number(l.mean().as_secs_f64() * 1e6),
-    );
-    m.insert(
-        "p50_us".to_string(),
-        Value::Number(l.percentile(0.50).as_secs_f64() * 1e6),
-    );
-    m.insert(
-        "p90_us".to_string(),
-        Value::Number(l.percentile(0.90).as_secs_f64() * 1e6),
-    );
-    m.insert(
-        "p99_us".to_string(),
-        Value::Number(l.percentile(0.99).as_secs_f64() * 1e6),
-    );
-    m.insert(
-        "max_us".to_string(),
-        Value::Number(l.max().as_secs_f64() * 1e6),
-    );
-    m
 }
 
 fn fmt_dur(d: Duration) -> String {
@@ -329,43 +235,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        let s = h.snapshot();
-        assert_eq!(s.count(), 0);
-        assert_eq!(s.percentile(0.99), Duration::ZERO);
-        assert_eq!(s.mean(), Duration::ZERO);
-    }
-
-    #[test]
-    fn percentile_brackets_samples() {
-        let h = LatencyHistogram::default();
-        for us in [10u64, 20, 30, 40, 1000] {
-            h.record(Duration::from_micros(us));
-        }
-        let s = h.snapshot();
-        assert_eq!(s.count(), 5);
-        // p50 falls in the bucket holding 20-40us samples; log buckets may
-        // overestimate by up to 2x but never land above the max sample.
-        let p50 = s.percentile(0.50);
-        assert!(p50 >= Duration::from_micros(20) && p50 <= Duration::from_micros(128));
-        assert_eq!(s.max(), Duration::from_micros(1000));
-        assert!(s.percentile(1.0) <= s.max());
-        assert_eq!(s.mean(), Duration::from_micros(220));
-    }
-
-    #[test]
-    fn bucket_index_monotone() {
-        let mut last = 0;
-        for ns in [0u64, 1, 2, 3, 1000, 1_000_000, u64::MAX] {
-            let b = bucket_index(ns);
-            assert!(b >= last);
-            assert!(b < BUCKETS);
-            last = b;
-        }
-    }
-
-    #[test]
     fn snapshot_renders_text_and_json() {
         let stage = StageMetrics::new("demo");
         stage.record_frame(Duration::from_micros(150));
@@ -378,10 +247,17 @@ mod tests {
             frames_completed: 2,
             total_drops: 0,
             elapsed: Duration::from_millis(10),
+            registry: biscatter_obs::registry().snapshot(),
         };
         let text = snap.to_text();
         assert!(text.contains("demo"));
         assert!(text.contains("end-to-end"));
+        // The stage mirrored its latency into the registry histogram.
+        assert!(snap
+            .registry
+            .histogram("runtime.stage.demo.ns")
+            .is_some_and(|h| h.count() >= 2));
+        assert!(text.contains("registry:"));
         let json = snap.to_json().to_pretty();
         let parsed = biscatter_core::json::parse(&json).expect("snapshot JSON parses");
         assert_eq!(
@@ -395,5 +271,9 @@ mod tests {
                 .map(|a| a.len()),
             Some(1)
         );
+        assert!(parsed
+            .get("registry")
+            .and_then(|r| r.get("histograms"))
+            .is_some());
     }
 }

@@ -40,6 +40,8 @@ use biscatter_radar::receiver::multitag::{MultiTagScratch, TagBank};
 use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::slab::SampleSlab;
 
+use biscatter_obs::trace;
+
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, StageMetrics};
 use crate::queue::{Backpressure, BoundedQueue};
 use crate::source::FrameJob;
@@ -244,12 +246,16 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
     // Recyclable buffers shared by all stage workers; leases travel inside
     // the envelopes and return here when dropped.
     let arena = FrameArena::default();
-    let q_synth = Arc::new(BoundedQueue::<EnvJob>::new(cap, cfg.policy));
-    let q_dechirp = Arc::new(BoundedQueue::<EnvSynth>::new(cap, cfg.policy));
-    let q_align = Arc::new(BoundedQueue::<EnvIf>::new(cap, cfg.policy));
-    let q_doppler = Arc::new(BoundedQueue::<EnvAligned>::new(cap, cfg.policy));
-    let q_detect = Arc::new(BoundedQueue::<EnvMapped>::new(cap, cfg.policy));
-    let q_sink = Arc::new(BoundedQueue::<EnvDone>::new(cap, cfg.policy));
+    // Queues are named after their consuming stage, so the registry shows
+    // each edge's live depth / high-water / drops as `runtime.queue.<stage>.*`.
+    let q_synth = Arc::new(BoundedQueue::<EnvJob>::named(cap, cfg.policy, "synthesize"));
+    let q_dechirp = Arc::new(BoundedQueue::<EnvSynth>::named(cap, cfg.policy, "dechirp"));
+    let q_align = Arc::new(BoundedQueue::<EnvIf>::named(cap, cfg.policy, "align"));
+    let q_doppler = Arc::new(BoundedQueue::<EnvAligned>::named(
+        cap, cfg.policy, "doppler",
+    ));
+    let q_detect = Arc::new(BoundedQueue::<EnvMapped>::named(cap, cfg.policy, "detect"));
+    let q_sink = Arc::new(BoundedQueue::<EnvDone>::named(cap, cfg.policy, "sink"));
 
     let m_synth = Arc::new(StageMetrics::new("synthesize"));
     let m_dechirp = Arc::new(StageMetrics::new("dechirp"));
@@ -258,12 +264,22 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
     let m_detect = Arc::new(StageMetrics::new("detect"));
     let e2e = LatencyHistogram::default();
 
+    // `BISCATTER_TRACE=<path>` turns span recording on for the run and dumps
+    // a Perfetto-loadable Chrome trace (plus the registry snapshot) there at
+    // shutdown. Tracing that was already enabled stays enabled either way.
+    let trace_path = std::env::var("BISCATTER_TRACE").ok();
+    if trace_path.is_some() {
+        trace::set_enabled(true);
+    }
+
     let t0 = Instant::now();
     let mut outcomes: Vec<(u64, IsacOutcome)> = thread::scope(|scope| {
         {
             let q = Arc::clone(&q_synth);
             scope.spawn(move || {
                 for job in jobs {
+                    let _fs = trace::frame_scope(job.id);
+                    let _span = biscatter_obs::span!("runtime.source");
                     let env = EnvJob {
                         born: Instant::now(),
                         job,
@@ -284,6 +300,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             &m_synth,
             || {},
             |e: EnvJob| {
+                let _fs = trace::frame_scope(e.job.id);
                 let synth = synthesize_frame(sys, &e.job.scenario, &e.job.payload, e.job.seed);
                 EnvSynth {
                     job: e.job,
@@ -302,6 +319,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             {
                 let arena = arena.clone();
                 move |e: EnvSynth| {
+                    let _fs = trace::frame_scope(e.job.id);
                     let mut if_data = arena.if_slabs.take_or(SampleSlab::new);
                     dechirp_stage_into(
                         intra,
@@ -331,6 +349,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             {
                 let arena = arena.clone();
                 move |e: EnvIf| {
+                    let _fs = trace::frame_scope(e.job.id);
                     let mut pair = arena.aligned.take_or(AlignedPair::default);
                     align_stage_into(intra, sys, &e.train, &*e.if_data, &mut pair);
                     // `e.if_data` drops here: the slab returns to the arena.
@@ -353,6 +372,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             {
                 let arena = arena.clone();
                 move |e: EnvAligned| {
+                    let _fs = trace::frame_scope(e.job.id);
                     let mut map = arena.maps.take_or(RangeDopplerMap::default);
                     doppler_stage_into(intra, &e.pair, &mut map);
                     EnvMapped {
@@ -375,6 +395,7 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
             {
                 let arena = arena.clone();
                 move |e: EnvMapped| {
+                    let _fs = trace::frame_scope(e.job.id);
                     let mut mean_power = arena.scratch.take_or(Vec::new);
                     let outcome = if e.job.scenario.extra_tags.is_empty() {
                         detect_stage_with(
@@ -415,6 +436,8 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
         // the unordered worker pools.
         let mut acc = Vec::with_capacity(n_jobs);
         while let Some(done) = q_sink.pop() {
+            let _fs = trace::frame_scope(done.id);
+            let _span = biscatter_obs::span!("runtime.sink");
             e2e.record(done.born.elapsed());
             acc.push((done.id, done.outcome));
         }
@@ -437,8 +460,29 @@ pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeCo
         frames_completed: outcomes.len() as u64,
         total_drops,
         elapsed,
+        registry: biscatter_obs::registry().snapshot(),
     };
+    if let Some(path) = trace_path {
+        dump_trace(&path, &metrics);
+    }
     RunReport { outcomes, metrics }
+}
+
+/// Writes the Perfetto trace for everything recorded so far (plus the
+/// registry snapshot under the extra `"registry"` key, which trace viewers
+/// ignore) to `path`. Failures are reported, not fatal — telemetry must not
+/// take down a run that already finished.
+fn dump_trace(path: &str, metrics: &MetricsSnapshot) {
+    let collector = trace::TraceCollector::drain();
+    let doc = collector.chrome_trace_extra([("registry".to_string(), metrics.registry.to_json())]);
+    match std::fs::write(path, doc.to_pretty()) {
+        Ok(()) => eprintln!(
+            "BISCATTER_TRACE: wrote {} spans from {} threads to {path}",
+            collector.span_count(),
+            collector.threads.len(),
+        ),
+        Err(err) => eprintln!("BISCATTER_TRACE: failed to write {path}: {err}"),
+    }
 }
 
 /// Reference path: the same jobs, one at a time, on the calling thread via

@@ -3,10 +3,15 @@
 //!
 //! Every inter-stage edge of the streaming pipeline is one of these. The
 //! queue tracks its own depth high-water mark and drop count, so stage
-//! metrics can report how congested each edge ran.
+//! metrics can report how congested each edge ran. Queues built with
+//! [`BoundedQueue::named`] additionally publish their depth (sampled at
+//! every push) and eviction count as `runtime.queue.<name>.*` registry
+//! metrics, giving live congestion visibility mid-run.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+use biscatter_obs::metrics::{Counter, Gauge};
 
 /// What a producer does when the queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +30,13 @@ struct State<T> {
     drops: u64,
 }
 
+/// Registry handles for one named queue's congestion metrics.
+struct QueueMetrics {
+    depth: Gauge,
+    high_water: Gauge,
+    drops: Counter,
+}
+
 /// A bounded multi-producer/multi-consumer queue.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
@@ -32,6 +44,7 @@ pub struct BoundedQueue<T> {
     not_full: Condvar,
     capacity: usize,
     policy: Backpressure,
+    metrics: Option<QueueMetrics>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -49,7 +62,22 @@ impl<T> BoundedQueue<T> {
             not_full: Condvar::new(),
             capacity,
             policy,
+            metrics: None,
         }
+    }
+
+    /// [`new`](Self::new), additionally publishing `runtime.queue.<name>.depth`
+    /// (sampled at each push) and `.high_water` gauges plus a `.drops`
+    /// eviction counter to the global metric registry.
+    pub fn named(capacity: usize, policy: Backpressure, name: &str) -> Self {
+        let r = biscatter_obs::registry();
+        let mut q = Self::new(capacity, policy);
+        q.metrics = Some(QueueMetrics {
+            depth: r.gauge(&format!("runtime.queue.{name}.depth")),
+            high_water: r.gauge(&format!("runtime.queue.{name}.high_water")),
+            drops: r.counter(&format!("runtime.queue.{name}.drops")),
+        });
+        q
     }
 
     /// Enqueues `item`. Under [`Backpressure::Block`] this waits for room;
@@ -71,12 +99,19 @@ impl<T> BoundedQueue<T> {
                 Backpressure::DropOldest => {
                     st.items.pop_front();
                     st.drops += 1;
+                    if let Some(m) = &self.metrics {
+                        m.drops.inc();
+                    }
                     break;
                 }
             }
         }
         st.items.push_back(item);
         st.high_water = st.high_water.max(st.items.len());
+        if let Some(m) = &self.metrics {
+            m.depth.set(st.items.len() as f64);
+            m.high_water.set_max(st.high_water as f64);
+        }
         self.not_empty.notify_one();
         true
     }
@@ -87,6 +122,9 @@ impl<T> BoundedQueue<T> {
         let mut st = self.state.lock().expect("queue lock");
         loop {
             if let Some(item) = st.items.pop_front() {
+                if let Some(m) = &self.metrics {
+                    m.depth.set(st.items.len() as f64);
+                }
                 self.not_full.notify_one();
                 return Some(item);
             }

@@ -7,6 +7,17 @@
 //! ```sh
 //! cargo run --release --example streaming_runtime
 //! ```
+//!
+//! Set `BISCATTER_TRACE=<path>` to additionally record spans from every
+//! thread (source, stage workers, intra-frame compute pool) and dump a
+//! Perfetto-loadable Chrome trace — with the metric registry embedded under
+//! a `"registry"` key — when the run shuts down:
+//!
+//! ```sh
+//! BISCATTER_TRACE=/tmp/biscatter_trace.json \
+//!     cargo run --release --example streaming_runtime
+//! # then open the file at https://ui.perfetto.dev
+//! ```
 
 use biscatter_runtime::pipeline::{run_streaming, RuntimeConfig, StageWorkers};
 use biscatter_runtime::queue::Backpressure;
@@ -14,18 +25,23 @@ use biscatter_runtime::source::{streaming_system, WorkloadSpec};
 
 fn main() {
     let sys = streaming_system();
+    if let Ok(path) = std::env::var("BISCATTER_TRACE") {
+        println!("tracing enabled; Perfetto trace will be written to {path}");
+    }
     let spec = WorkloadSpec::four_by_eight(200, 42);
     println!(
         "workload: {} radars x {} tags, {} frames (seed {})",
         spec.n_radars, spec.tags_per_radar, spec.n_frames, spec.base_seed
     );
 
-    // Lossless run: blocking backpressure, bounded queues.
+    // Lossless run: blocking backpressure, bounded queues. Two intra-frame
+    // threads so the shared compute pool's fork-join spans show up in the
+    // trace alongside the stage spans.
     let cfg = RuntimeConfig {
         queue_capacity: 8,
         policy: Backpressure::Block,
         workers: StageWorkers::auto(),
-        ..RuntimeConfig::default()
+        intra_frame_threads: 2,
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
 
@@ -53,11 +69,13 @@ fn main() {
     println!("{}", report.metrics.to_text());
 
     // Overload run: tiny queues with drop-oldest shedding.
+    // (Also two intra-frame threads: each run dumps the trace at shutdown,
+    // and the last dump wins, so the shed run must record the same span mix.)
     let lossy = RuntimeConfig {
         queue_capacity: 2,
         policy: Backpressure::DropOldest,
         workers: StageWorkers::uniform(1),
-        ..RuntimeConfig::default()
+        intra_frame_threads: 2,
     };
     let shed = run_streaming(&sys, WorkloadSpec::four_by_eight(60, 42).jobs(&sys), &lossy);
     println!("=== drop-oldest on capacity-2 queues (60 frames) ===");
