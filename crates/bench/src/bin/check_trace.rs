@@ -76,17 +76,19 @@ fn main() -> ExitCode {
     if thread_names == 0 {
         return fail("no thread_name metadata events — Perfetto rows would be unlabeled");
     }
-    // The registry snapshot keys counters by metric name; spot-check one
-    // counter from each instrumented subsystem.
-    let registry_ok = ["dsp.plan_cache.hits", "compute.fork_join.calls"]
-        .iter()
-        .all(|name| {
-            doc.get("registry")
-                .and_then(|r| r.get("counters"))
-                .and_then(|c| c.get(name))
-                .and_then(Value::as_f64)
-                .is_some()
-        });
+    // The registry snapshot keys counters by metric name. Spot-check the
+    // DSP layer (every trace producer exercises it) plus one orchestration
+    // counter: the streaming runtime registers the compute pool's fork/join
+    // counter, the fleet scheduler registers its admission counter.
+    let has_counter = |name: &str| {
+        doc.get("registry")
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_f64)
+            .is_some()
+    };
+    let registry_ok = has_counter("dsp.plan_cache.hits")
+        && (has_counter("compute.fork_join.calls") || has_counter("fleet.admitted"));
     if !registry_ok {
         return fail("embedded `registry` snapshot is missing or empty");
     }

@@ -267,13 +267,26 @@ impl Default for FrameArena {
     /// outstanding high-water gauges under `arena.isac.*` in the global
     /// metric registry (arenas sharing the process share the cells).
     fn default() -> Self {
+        Self::scoped("")
+    }
+}
+
+impl FrameArena {
+    /// An arena whose pool metrics live under `<prefix>arena.isac.*` instead
+    /// of the process-global `arena.isac.*`. A multi-cell fleet passes
+    /// `"cell<id>."` so concurrent pipelines report disjoint lease counters;
+    /// the empty prefix reproduces [`FrameArena::default`] exactly.
+    pub fn scoped(prefix: &str) -> Self {
+        fn at<T>(prefix: &str, name: &str) -> Pool<T> {
+            Pool::named_at(&format!("{prefix}arena.isac.{name}"))
+        }
         FrameArena {
-            if_slabs: Pool::named("isac.if_slabs"),
-            aligned: Pool::named("isac.aligned"),
-            maps: Pool::named("isac.maps"),
-            scratch: Pool::named("isac.scratch"),
-            banks: Pool::named("isac.banks"),
-            multitag: Pool::named("isac.multitag"),
+            if_slabs: at(prefix, "if_slabs"),
+            aligned: at(prefix, "aligned"),
+            maps: at(prefix, "maps"),
+            scratch: at(prefix, "scratch"),
+            banks: at(prefix, "banks"),
+            multitag: at(prefix, "multitag"),
         }
     }
 }

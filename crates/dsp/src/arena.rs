@@ -80,15 +80,24 @@ impl<T> Pool<T> {
     /// gauge to the global metric registry. Pools sharing a name share the
     /// registry cells (their stats sum).
     pub fn named(name: &str) -> Self {
+        Self::named_at(&format!("arena.{name}"))
+    }
+
+    /// Like [`Pool::named`] but takes the full registry base name instead of
+    /// prepending `arena.`. This is how a multi-cell process keeps pools
+    /// from colliding: cell 3's pipeline registers its pools at
+    /// `cell3.arena.isac.*` while a standalone run keeps the legacy
+    /// unscoped `arena.isac.*` names.
+    pub fn named_at(base: &str) -> Self {
         let r = biscatter_obs::registry();
         Pool {
             inner: Arc::new(PoolInner {
                 free: Mutex::new(Vec::new()),
                 stats: Some(PoolStats {
-                    hits: r.counter(&format!("arena.{name}.lease_hits")),
-                    misses: r.counter(&format!("arena.{name}.lease_misses")),
+                    hits: r.counter(&format!("{base}.lease_hits")),
+                    misses: r.counter(&format!("{base}.lease_misses")),
                     outstanding: AtomicU64::new(0),
-                    outstanding_hiwat: r.gauge(&format!("arena.{name}.outstanding_hiwat")),
+                    outstanding_hiwat: r.gauge(&format!("{base}.outstanding_hiwat")),
                 }),
             }),
         }

@@ -338,6 +338,80 @@ impl RegistrySnapshot {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
+    /// Aggregates two snapshots into one, as if both had been recorded into
+    /// a single registry: counters **sum** by name, gauges keep the **max**
+    /// by name (every gauge in this codebase is a depth/high-water style
+    /// level, where max is the meaningful cross-shard aggregate), and
+    /// histograms combine bucket-exactly via [`LatencySnapshot::merge`].
+    /// Names present in only one side pass through unchanged. The operation
+    /// is associative and commutative (see `crates/obs/tests`), so a fleet
+    /// can fold any number of per-cell snapshots in any order.
+    pub fn merge(&self, other: &RegistrySnapshot) -> RegistrySnapshot {
+        fn merge_by_name<V: Clone>(
+            a: &[(String, V)],
+            b: &[(String, V)],
+            combine: impl Fn(&V, &V) -> V,
+        ) -> Vec<(String, V)> {
+            let mut out: BTreeMap<String, V> = a.iter().cloned().collect();
+            for (k, v) in b {
+                match out.get_mut(k) {
+                    Some(cur) => *cur = combine(cur, v),
+                    None => {
+                        out.insert(k.clone(), v.clone());
+                    }
+                }
+            }
+            out.into_iter().collect()
+        }
+        RegistrySnapshot {
+            counters: merge_by_name(&self.counters, &other.counters, |a, b| a + b),
+            gauges: merge_by_name(&self.gauges, &other.gauges, |a, b| a.max(*b)),
+            histograms: merge_by_name(&self.histograms, &other.histograms, |a, b| a.merge(b)),
+        }
+    }
+
+    /// The subset of metrics whose name starts with `prefix` (names kept).
+    /// With the per-cell `cell<id>.` naming convention this extracts one
+    /// cell's private view out of the process-global registry.
+    pub fn filter_prefix(&self, prefix: &str) -> RegistrySnapshot {
+        fn keep<V: Clone>(v: &[(String, V)], prefix: &str) -> Vec<(String, V)> {
+            v.iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .cloned()
+                .collect()
+        }
+        RegistrySnapshot {
+            counters: keep(&self.counters, prefix),
+            gauges: keep(&self.gauges, prefix),
+            histograms: keep(&self.histograms, prefix),
+        }
+    }
+
+    /// Removes `prefix` from every metric name that carries it (metrics
+    /// without the prefix are kept as-is). Stripping the `cell<id>.` scope
+    /// from per-cell views aligns their names, so a subsequent
+    /// [`merge`](Self::merge) aggregates the *same* logical metric across
+    /// cells: queue depths take the fleet-wide max, stage histograms sum
+    /// their samples bucket-exactly.
+    pub fn strip_prefix(&self, prefix: &str) -> RegistrySnapshot {
+        fn strip<V: Clone>(v: &[(String, V)], prefix: &str) -> Vec<(String, V)> {
+            let mut out: Vec<(String, V)> = v
+                .iter()
+                .map(|(k, val)| {
+                    let name = k.strip_prefix(prefix).unwrap_or(k);
+                    (name.to_string(), val.clone())
+                })
+                .collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        }
+        RegistrySnapshot {
+            counters: strip(&self.counters, prefix),
+            gauges: strip(&self.gauges, prefix),
+            histograms: strip(&self.histograms, prefix),
+        }
+    }
+
     /// Looks up a counter by exact name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters

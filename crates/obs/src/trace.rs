@@ -292,6 +292,22 @@ pub struct TraceCollector {
 }
 
 impl TraceCollector {
+    /// Folds `other` into `self`: spans append per thread (matched by
+    /// `tid`), dropped counts sum, previously-unseen threads are adopted.
+    /// Used by the re-entrant dump accumulator, where successive drains of
+    /// the same process must concatenate rather than clobber.
+    pub fn merge(&mut self, other: TraceCollector) {
+        for t in other.threads {
+            match self.threads.iter_mut().find(|own| own.tid == t.tid) {
+                Some(own) => {
+                    own.dropped += t.dropped;
+                    own.spans.extend(t.spans);
+                }
+                None => self.threads.push(t),
+            }
+        }
+    }
+
     /// Drains every registered ring.
     pub fn drain() -> TraceCollector {
         let rings = all_rings().lock().unwrap();
@@ -373,6 +389,48 @@ impl TraceCollector {
         }
         Value::Object(root)
     }
+}
+
+/// Summary of one [`export_accumulated`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct ExportSummary {
+    /// Spans in the written file (cumulative across every export so far).
+    pub spans: usize,
+    /// Threads that recorded at least one span.
+    pub threads: usize,
+}
+
+fn accumulator() -> &'static Mutex<TraceCollector> {
+    static ACCUM: OnceLock<Mutex<TraceCollector>> = OnceLock::new();
+    ACCUM.get_or_init(|| Mutex::new(TraceCollector::default()))
+}
+
+/// Drains every ring into a process-global accumulator and writes the
+/// *cumulative* Chrome trace (every span recorded since process start, plus
+/// `extra` top-level keys) to `path`.
+///
+/// This is the re-entrant alternative to hand-rolling
+/// [`TraceCollector::drain`] + write at the end of a run: draining empties
+/// the rings, so two runs (two cells, a fleet of pipelines, or repeated
+/// runs in one test process) each doing their own drain-and-write would
+/// clobber the file with only the most recent run's spans. Here every
+/// caller folds its drain into the shared accumulator and rewrites the full
+/// picture — concurrent exporters serialize on the accumulator lock and the
+/// last write contains everything. Extra keys are supplied per call (the
+/// registry snapshot is cumulative anyway), and the rings stay registered,
+/// so tracing keeps recording after an export.
+pub fn export_accumulated(
+    path: &str,
+    extra: impl IntoIterator<Item = (String, Value)>,
+) -> std::io::Result<ExportSummary> {
+    let mut accum = accumulator().lock().unwrap();
+    accum.merge(TraceCollector::drain());
+    let doc = accum.chrome_trace_extra(extra);
+    std::fs::write(path, doc.to_pretty())?;
+    Ok(ExportSummary {
+        spans: accum.span_count(),
+        threads: accum.threads.len(),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,177 @@
+//! Property tests for `RegistrySnapshot::merge`: folding per-cell registry
+//! views into one fleet snapshot must behave like a single registry that
+//! saw all the traffic. Counters **sum**, gauges keep the **max**, and
+//! histograms aggregate bucket-exactly (same guarantee
+//! `crates/obs/tests/merge_props.rs` establishes for `LatencySnapshot`).
+//! Merge must also be associative and commutative, so a fleet can fold any
+//! number of cells in any order.
+
+use std::time::Duration;
+
+use biscatter_obs::metrics::{LatencyHistogram, LatencySnapshot, RegistrySnapshot};
+use proptest::prelude::*;
+
+/// A small closed name universe so generated snapshots overlap on some
+/// names (exercising the combine path) and miss on others (the pass-through
+/// path).
+const NAMES: [&str; 4] = ["cell.frames", "queue.depth", "stage.ns", "arena.hits"];
+
+fn histogram_of(samples: &[u64]) -> LatencySnapshot {
+    let h = LatencyHistogram::default();
+    for &ns in samples {
+        h.record(Duration::from_nanos(ns));
+    }
+    h.snapshot()
+}
+
+/// Builds a snapshot from generated `(name index, value)` lists,
+/// deduplicating names (last value wins) and sorting, like a real registry
+/// snapshot.
+fn snapshot_from(
+    counters: Vec<(usize, u64)>,
+    gauges: Vec<(usize, f64)>,
+    hists: Vec<(usize, Vec<u64>)>,
+) -> RegistrySnapshot {
+    fn dedup<V>(items: Vec<(usize, V)>) -> Vec<(String, V)> {
+        let map: std::collections::BTreeMap<String, V> = items
+            .into_iter()
+            .map(|(i, v)| (NAMES[i % NAMES.len()].to_string(), v))
+            .collect();
+        map.into_iter().collect()
+    }
+    RegistrySnapshot {
+        counters: dedup(counters),
+        gauges: dedup(gauges),
+        histograms: dedup(hists)
+            .into_iter()
+            .map(|(k, s)| (k, histogram_of(&s)))
+            .collect(),
+    }
+}
+
+/// Equality up to the statistics a snapshot exposes (the histogram's
+/// internals are private; count/mean/max/percentiles pin the buckets for
+/// our sample ranges).
+fn assert_equivalent(a: &RegistrySnapshot, b: &RegistrySnapshot) {
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.gauges, b.gauges);
+    assert_eq!(a.histograms.len(), b.histograms.len());
+    for ((ka, ha), (kb, hb)) in a.histograms.iter().zip(&b.histograms) {
+        assert_eq!(ka, kb);
+        assert_eq!(ha.count(), hb.count());
+        assert_eq!(ha.mean(), hb.mean());
+        assert_eq!(ha.max(), hb.max());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(ha.percentile(q), hb.percentile(q));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        ac in prop::collection::vec((0usize..4, 0u64..1 << 40), 0..6),
+        ag in prop::collection::vec((0usize..4, 0.0f64..1e9), 0..6),
+        ah in prop::collection::vec((0usize..4, prop::collection::vec(0u64..1 << 40, 0..12)), 0..4),
+        bc in prop::collection::vec((0usize..4, 0u64..1 << 40), 0..6),
+        bg in prop::collection::vec((0usize..4, 0.0f64..1e9), 0..6),
+        cc in prop::collection::vec((0usize..4, 0u64..1 << 40), 0..6),
+    ) {
+        let a = snapshot_from(ac, ag, ah);
+        let b = snapshot_from(bc, bg, Vec::new());
+        let c = snapshot_from(cc, Vec::new(), Vec::new());
+        assert_equivalent(&a.merge(&b).merge(&c), &a.merge(&b.merge(&c)));
+        assert_equivalent(&a.merge(&b), &b.merge(&a));
+        // Merging with the empty snapshot is the identity.
+        assert_equivalent(&a.merge(&RegistrySnapshot::default()), &a);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_gauges(
+        ac in prop::collection::vec((0usize..4, 0u64..1 << 40), 0..6),
+        ag in prop::collection::vec((0usize..4, 0.0f64..1e9), 0..6),
+        bc in prop::collection::vec((0usize..4, 0u64..1 << 40), 0..6),
+        bg in prop::collection::vec((0usize..4, 0.0f64..1e9), 0..6),
+    ) {
+        let a = snapshot_from(ac, ag, Vec::new());
+        let b = snapshot_from(bc, bg, Vec::new());
+        let m = a.merge(&b);
+        for (name, v) in &m.counters {
+            let va = a.counter(name);
+            let vb = b.counter(name);
+            prop_assert!(va.is_some() || vb.is_some(), "merged counter from nowhere");
+            prop_assert_eq!(*v, va.unwrap_or(0) + vb.unwrap_or(0));
+        }
+        for (name, v) in &m.gauges {
+            let expect = match (a.gauge(name), b.gauge(name)) {
+                (Some(x), Some(y)) => x.max(y),
+                (Some(x), None) | (None, Some(x)) => x,
+                (None, None) => panic!("merged gauge from nowhere"),
+            };
+            prop_assert_eq!(*v, expect);
+        }
+        // Every input name survives the merge.
+        for (name, _) in a.counters.iter().chain(&b.counters) {
+            prop_assert!(m.counter(name).is_some());
+        }
+        for (name, _) in a.gauges.iter().chain(&b.gauges) {
+            prop_assert!(m.gauge(name).is_some());
+        }
+    }
+
+    #[test]
+    fn merged_histograms_match_concatenated_recording(
+        xs in prop::collection::vec(0u64..1 << 40, 0..32),
+        ys in prop::collection::vec(0u64..1 << 40, 0..32),
+    ) {
+        let a = RegistrySnapshot {
+            histograms: vec![("h".to_string(), histogram_of(&xs))],
+            ..Default::default()
+        };
+        let b = RegistrySnapshot {
+            histograms: vec![("h".to_string(), histogram_of(&ys))],
+            ..Default::default()
+        };
+        let merged = a.merge(&b);
+        let got = merged.histogram("h").expect("merged histogram present");
+        let mut concat = xs.clone();
+        concat.extend_from_slice(&ys);
+        let oracle = histogram_of(&concat);
+        prop_assert_eq!(got.count(), oracle.count());
+        prop_assert_eq!(got.mean(), oracle.mean());
+        prop_assert_eq!(got.max(), oracle.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(got.percentile(q), oracle.percentile(q));
+        }
+    }
+}
+
+#[test]
+fn filter_and_strip_prefix_extract_cell_views() {
+    let snap = RegistrySnapshot {
+        counters: vec![
+            ("cell0.runtime.frames".to_string(), 3),
+            ("cell1.runtime.frames".to_string(), 5),
+            ("dsp.plan_cache.hits".to_string(), 7),
+        ],
+        gauges: vec![
+            ("cell0.runtime.queue.detect.depth".to_string(), 2.0),
+            ("cell1.runtime.queue.detect.depth".to_string(), 4.0),
+        ],
+        histograms: Vec::new(),
+    };
+    let c0 = snap.filter_prefix("cell0.");
+    assert_eq!(c0.counters.len(), 1);
+    assert_eq!(c0.counter("cell0.runtime.frames"), Some(3));
+    assert_eq!(c0.gauge("cell0.runtime.queue.detect.depth"), Some(2.0));
+
+    // Strip + merge aggregates the same logical metric across cells:
+    // frame counters sum, queue depths take the fleet max.
+    let agg = snap
+        .filter_prefix("cell0.")
+        .strip_prefix("cell0.")
+        .merge(&snap.filter_prefix("cell1.").strip_prefix("cell1."));
+    assert_eq!(agg.counter("runtime.frames"), Some(8));
+    assert_eq!(agg.gauge("runtime.queue.detect.depth"), Some(4.0));
+    assert!(agg.counter("dsp.plan_cache.hits").is_none());
+}

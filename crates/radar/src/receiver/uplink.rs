@@ -45,6 +45,15 @@ pub struct UplinkDecode {
 /// * `scheme` — the modulation the tag was assigned,
 /// * `bit_duration_s` — uplink bit period; must span at least two chirps.
 ///
+/// Number of chirps spanned by one uplink bit window: `bit_duration_s`
+/// rounded to the nearest whole chirp period. This is the decoder-state
+/// quantum a fleet handoff carries along with accumulated bits — both the
+/// cell that opens an uplink session and the cell it migrates to must
+/// window the slow-time sequence identically.
+pub fn chirps_per_bit(bit_duration_s: f64, t_period: f64) -> usize {
+    (bit_duration_s / t_period).round() as usize
+}
+
 /// Returns `None` if the frame is shorter than one bit window.
 pub fn demodulate(
     frame: &AlignedFrame,
@@ -52,7 +61,7 @@ pub fn demodulate(
     scheme: UplinkScheme,
     bit_duration_s: f64,
 ) -> Option<UplinkDecode> {
-    let chirps_per_bit = (bit_duration_s / frame.t_period).round() as usize;
+    let chirps_per_bit = chirps_per_bit(bit_duration_s, frame.t_period);
     if chirps_per_bit < 2 || frame.n_chirps() < chirps_per_bit {
         return None;
     }

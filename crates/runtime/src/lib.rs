@@ -43,6 +43,6 @@ pub use metrics::{
     LatencyHistogram, LatencySnapshot, MetricsSnapshot, RegistrySnapshot, StageMetrics,
     StageSnapshot,
 };
-pub use pipeline::{run_serial, run_streaming, RunReport, RuntimeConfig, StageWorkers};
-pub use queue::{Backpressure, BoundedQueue};
-pub use source::{streaming_system, FrameJob, WorkloadSpec};
+pub use pipeline::{run_serial, run_streaming, Cell, RunReport, RuntimeConfig, StageWorkers};
+pub use queue::{Backpressure, BoundedQueue, TryPop, TryPushError};
+pub use source::{streaming_system, CellJob, FrameJob, MobilitySpec, SessionHop, WorkloadSpec};

@@ -34,13 +34,21 @@ pub struct StageMetrics {
 
 impl StageMetrics {
     pub fn new(name: &'static str) -> Self {
+        Self::scoped("", name)
+    }
+
+    /// Like [`new`](Self::new) but registers the mirror histogram at
+    /// `<prefix>runtime.stage.<name>.ns`. A multi-cell process passes
+    /// `"cell<id>."` so each cell's stage timing stays separable; the empty
+    /// prefix keeps the legacy unscoped name.
+    pub fn scoped(prefix: &str, name: &'static str) -> Self {
         StageMetrics {
             name,
             frames_in: AtomicU64::new(0),
             frames_out: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             registry_latency: biscatter_obs::registry()
-                .histogram(&format!("runtime.stage.{name}.ns")),
+                .histogram(&format!("{prefix}runtime.stage.{name}.ns")),
         }
     }
 

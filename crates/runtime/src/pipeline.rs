@@ -31,8 +31,8 @@ use biscatter_core::downlink::FrameOutcome;
 use biscatter_core::dsp::arena::Lease;
 use biscatter_core::isac::{
     align_stage_into, dechirp_stage_into, detect_stage_multi, detect_stage_with,
-    doppler_stage_into, run_isac_frame, synthesize_frame, warm_dsp_plans, AlignedPair, FrameArena,
-    IsacOutcome, SynthesizedFrame,
+    doppler_stage_into, run_isac_frame, run_isac_frame_with, synthesize_frame, warm_dsp_plans,
+    AlignedPair, FrameArena, IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
@@ -40,6 +40,7 @@ use biscatter_radar::receiver::multitag::{MultiTagScratch, TagBank};
 use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::slab::SampleSlab;
 
+use biscatter_obs::metrics::{Counter, Histogram};
 use biscatter_obs::trace;
 
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, StageMetrics};
@@ -230,256 +231,400 @@ fn spawn_pool<'s, I, O, F, G>(
     }
 }
 
-/// Streams `jobs` through the staged pipeline and collects every outcome.
+/// A radar cell as a value: one system, one runtime configuration, one
+/// frame arena, and a metric scope.
 ///
-/// The calling thread acts as the sink; worker threads are scoped, so the
-/// function returns only after every stage has shut down.
-pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeConfig) -> RunReport {
-    let n_jobs = jobs.len();
-    let cap = cfg.queue_capacity;
-    // One compute pool shared by the DSP stages for intra-frame fan-out. Its
-    // background workers warm their thread-local FFT planners at spawn, the
-    // same `warm_dsp_plans` hook the stage workers run in `spawn_pool`.
-    let warm_sys = sys.clone();
-    let intra = ComputePool::with_init(cfg.intra_frame_threads, move || warm_dsp_plans(&warm_sys));
-    let intra = &intra;
-    // Recyclable buffers shared by all stage workers; leases travel inside
-    // the envelopes and return here when dropped.
-    let arena = FrameArena::default();
-    // Queues are named after their consuming stage, so the registry shows
-    // each edge's live depth / high-water / drops as `runtime.queue.<stage>.*`.
-    let q_synth = Arc::new(BoundedQueue::<EnvJob>::named(cap, cfg.policy, "synthesize"));
-    let q_dechirp = Arc::new(BoundedQueue::<EnvSynth>::named(cap, cfg.policy, "dechirp"));
-    let q_align = Arc::new(BoundedQueue::<EnvIf>::named(cap, cfg.policy, "align"));
-    let q_doppler = Arc::new(BoundedQueue::<EnvAligned>::named(
-        cap, cfg.policy, "doppler",
-    ));
-    let q_detect = Arc::new(BoundedQueue::<EnvMapped>::named(cap, cfg.policy, "detect"));
-    let q_sink = Arc::new(BoundedQueue::<EnvDone>::named(cap, cfg.policy, "sink"));
+/// PRs 1–5 assumed a single pipeline per process; the fleet layer
+/// (`biscatter-fleet`) instead instantiates many cells and schedules them
+/// across worker shards, so everything that used to be implicitly
+/// process-global — arena pools, queue gauges, stage histograms — is scoped
+/// under the cell's `cell<id>.` metric prefix.
+///
+/// Two entry points share the cell's arena and scope:
+/// * [`Cell::run_streaming`] — the full staged pipeline (source → five
+///   worker pools → sink), the same machinery as the free [`run_streaming`]
+///   but with per-cell metric names.
+/// * [`Cell::process`] — one frame, inline on the calling thread through
+///   the zero-allocation arena path ([`run_isac_frame_with`]); this is what
+///   a fleet shard calls when it multiplexes many cells onto one thread.
+///
+/// Both paths are bit-identical to the one-shot [`run_isac_frame`] because
+/// every job carries its own seed.
+pub struct Cell {
+    id: usize,
+    prefix: String,
+    sys: BiScatterSystem,
+    cfg: RuntimeConfig,
+    arena: FrameArena,
+    frames: Counter,
+    frame_ns: Histogram,
+}
 
-    let m_synth = Arc::new(StageMetrics::new("synthesize"));
-    let m_dechirp = Arc::new(StageMetrics::new("dechirp"));
-    let m_align = Arc::new(StageMetrics::new("align"));
-    let m_doppler = Arc::new(StageMetrics::new("doppler"));
-    let m_detect = Arc::new(StageMetrics::new("detect"));
-    let e2e = LatencyHistogram::default();
-
-    // `BISCATTER_TRACE=<path>` turns span recording on for the run and dumps
-    // a Perfetto-loadable Chrome trace (plus the registry snapshot) there at
-    // shutdown. Tracing that was already enabled stays enabled either way.
-    let trace_path = std::env::var("BISCATTER_TRACE").ok();
-    if trace_path.is_some() {
-        trace::set_enabled(true);
+impl Cell {
+    /// A cell whose metrics live under `cell<id>.` (e.g.
+    /// `cell3.runtime.queue.detect.depth`, `cell3.arena.isac.maps.*`).
+    pub fn new(id: usize, sys: BiScatterSystem, cfg: RuntimeConfig) -> Self {
+        Self::with_prefix(id, format!("cell{id}."), sys, cfg)
     }
 
-    let t0 = Instant::now();
-    let mut outcomes: Vec<(u64, IsacOutcome)> = thread::scope(|scope| {
-        {
-            let q = Arc::clone(&q_synth);
-            scope.spawn(move || {
-                for job in jobs {
-                    let _fs = trace::frame_scope(job.id);
-                    let _span = biscatter_obs::span!("runtime.source");
-                    let env = EnvJob {
-                        born: Instant::now(),
-                        job,
-                    };
-                    if !q.push(env) {
-                        break;
-                    }
-                }
-                q.close();
-            });
+    /// A cell with the legacy unscoped metric names — what the free
+    /// [`run_streaming`] uses, and what single-pipeline processes expect.
+    pub fn standalone(sys: BiScatterSystem, cfg: RuntimeConfig) -> Self {
+        Self::with_prefix(0, String::new(), sys, cfg)
+    }
+
+    fn with_prefix(id: usize, prefix: String, sys: BiScatterSystem, cfg: RuntimeConfig) -> Self {
+        let r = biscatter_obs::registry();
+        let frames = r.counter(&format!("{prefix}runtime.frames"));
+        let frame_ns = r.histogram(&format!("{prefix}runtime.frame.ns"));
+        let arena = FrameArena::scoped(&prefix);
+        Cell {
+            id,
+            prefix,
+            sys,
+            cfg,
+            arena,
+            frames,
+            frame_ns,
+        }
+    }
+
+    /// The cell id this value was built with.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The metric-name prefix (`"cell<id>."`, or empty for standalone).
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The radar/tag system this cell simulates and processes.
+    pub fn system(&self) -> &BiScatterSystem {
+        &self.sys
+    }
+
+    /// The runtime configuration (queue sizing, backpressure, workers).
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The cell's frame arena — benchmarks use this to assert the free
+    /// lists recycle (zero steady-state allocation).
+    pub fn arena(&self) -> &FrameArena {
+        &self.arena
+    }
+
+    /// Runs one frame inline on the calling thread through the cell's arena
+    /// (allocation-free after warm-up) and records it in the cell's frame
+    /// counter and latency histogram. Bit-identical to [`run_isac_frame`].
+    pub fn process(&self, pool: &ComputePool, job: &FrameJob) -> IsacOutcome {
+        let _fs = trace::frame_scope(job.id);
+        let _span = biscatter_obs::span!("runtime.frame");
+        let t0 = Instant::now();
+        let outcome = run_isac_frame_with(
+            pool,
+            &self.sys,
+            &job.scenario,
+            &job.payload,
+            job.seed,
+            &self.arena,
+        );
+        self.frames.inc();
+        self.frame_ns.record(t0.elapsed());
+        outcome
+    }
+
+    /// Streams `jobs` through the staged pipeline and collects every
+    /// outcome. The calling thread acts as the sink; worker threads are
+    /// scoped, so the method returns only after every stage has shut down.
+    pub fn run_streaming(&self, jobs: Vec<FrameJob>) -> RunReport {
+        let sys = &self.sys;
+        let cfg = &self.cfg;
+        let p = self.prefix.as_str();
+        let n_jobs = jobs.len();
+        let cap = cfg.queue_capacity;
+        // One compute pool shared by the DSP stages for intra-frame fan-out.
+        // Its background workers warm their thread-local FFT planners at
+        // spawn, the same `warm_dsp_plans` hook the stage workers run in
+        // `spawn_pool`.
+        let warm_sys = sys.clone();
+        let intra =
+            ComputePool::with_init(cfg.intra_frame_threads, move || warm_dsp_plans(&warm_sys));
+        let intra = &intra;
+        // Recyclable buffers shared by all stage workers; leases travel
+        // inside the envelopes and return here when dropped.
+        let arena = &self.arena;
+        // Queues are named after their consuming stage, so the registry shows
+        // each edge's live depth / high-water / drops as
+        // `<prefix>runtime.queue.<stage>.*`.
+        let q = |stage: &str| format!("{p}runtime.queue.{stage}");
+        let q_synth = Arc::new(BoundedQueue::<EnvJob>::named_at(
+            cap,
+            cfg.policy,
+            &q("synthesize"),
+        ));
+        let q_dechirp = Arc::new(BoundedQueue::<EnvSynth>::named_at(
+            cap,
+            cfg.policy,
+            &q("dechirp"),
+        ));
+        let q_align = Arc::new(BoundedQueue::<EnvIf>::named_at(
+            cap,
+            cfg.policy,
+            &q("align"),
+        ));
+        let q_doppler = Arc::new(BoundedQueue::<EnvAligned>::named_at(
+            cap,
+            cfg.policy,
+            &q("doppler"),
+        ));
+        let q_detect = Arc::new(BoundedQueue::<EnvMapped>::named_at(
+            cap,
+            cfg.policy,
+            &q("detect"),
+        ));
+        let q_sink = Arc::new(BoundedQueue::<EnvDone>::named_at(
+            cap,
+            cfg.policy,
+            &q("sink"),
+        ));
+
+        let m_synth = Arc::new(StageMetrics::scoped(p, "synthesize"));
+        let m_dechirp = Arc::new(StageMetrics::scoped(p, "dechirp"));
+        let m_align = Arc::new(StageMetrics::scoped(p, "align"));
+        let m_doppler = Arc::new(StageMetrics::scoped(p, "doppler"));
+        let m_detect = Arc::new(StageMetrics::scoped(p, "detect"));
+        let e2e = LatencyHistogram::default();
+
+        // `BISCATTER_TRACE=<path>` turns span recording on for the run and
+        // dumps a Perfetto-loadable Chrome trace (plus the registry
+        // snapshot) there at shutdown. Tracing that was already enabled
+        // stays enabled either way.
+        let trace_path = std::env::var("BISCATTER_TRACE").ok();
+        if trace_path.is_some() {
+            trace::set_enabled(true);
         }
 
-        spawn_pool(
-            scope,
-            cfg.workers.synthesize,
-            &q_synth,
-            &q_dechirp,
-            &m_synth,
-            || {},
-            |e: EnvJob| {
-                let _fs = trace::frame_scope(e.job.id);
-                let synth = synthesize_frame(sys, &e.job.scenario, &e.job.payload, e.job.seed);
-                EnvSynth {
-                    job: e.job,
-                    born: e.born,
-                    synth,
-                }
-            },
-        );
-        spawn_pool(
-            scope,
-            cfg.workers.dechirp,
-            &q_dechirp,
-            &q_align,
-            &m_dechirp,
-            || {},
+        let t0 = Instant::now();
+        let mut outcomes: Vec<(u64, IsacOutcome)> = thread::scope(|scope| {
             {
-                let arena = arena.clone();
-                move |e: EnvSynth| {
+                let q = Arc::clone(&q_synth);
+                scope.spawn(move || {
+                    for job in jobs {
+                        let _fs = trace::frame_scope(job.id);
+                        let _span = biscatter_obs::span!("runtime.source");
+                        let env = EnvJob {
+                            born: Instant::now(),
+                            job,
+                        };
+                        if !q.push(env) {
+                            break;
+                        }
+                    }
+                    q.close();
+                });
+            }
+
+            spawn_pool(
+                scope,
+                cfg.workers.synthesize,
+                &q_synth,
+                &q_dechirp,
+                &m_synth,
+                || {},
+                |e: EnvJob| {
                     let _fs = trace::frame_scope(e.job.id);
-                    let mut if_data = arena.if_slabs.take_or(SampleSlab::new);
-                    dechirp_stage_into(
-                        intra,
-                        sys,
-                        &e.synth.train,
-                        &e.synth.scene,
-                        e.job.seed,
-                        &mut if_data,
-                    );
-                    EnvIf {
+                    let synth = synthesize_frame(sys, &e.job.scenario, &e.job.payload, e.job.seed);
+                    EnvSynth {
                         job: e.job,
                         born: e.born,
-                        train: e.synth.train,
-                        downlink: e.synth.downlink,
-                        if_data,
+                        synth,
                     }
-                }
-            },
-        );
-        spawn_pool(
-            scope,
-            cfg.workers.align,
-            &q_align,
-            &q_doppler,
-            &m_align,
-            || warm_dsp_plans(sys),
-            {
-                let arena = arena.clone();
-                move |e: EnvIf| {
-                    let _fs = trace::frame_scope(e.job.id);
-                    let mut pair = arena.aligned.take_or(AlignedPair::default);
-                    align_stage_into(intra, sys, &e.train, &*e.if_data, &mut pair);
-                    // `e.if_data` drops here: the slab returns to the arena.
-                    EnvAligned {
-                        job: e.job,
-                        born: e.born,
-                        downlink: e.downlink,
-                        pair,
-                    }
-                }
-            },
-        );
-        spawn_pool(
-            scope,
-            cfg.workers.doppler,
-            &q_doppler,
-            &q_detect,
-            &m_doppler,
-            || warm_dsp_plans(sys),
-            {
-                let arena = arena.clone();
-                move |e: EnvAligned| {
-                    let _fs = trace::frame_scope(e.job.id);
-                    let mut map = arena.maps.take_or(RangeDopplerMap::default);
-                    doppler_stage_into(intra, &e.pair, &mut map);
-                    EnvMapped {
-                        job: e.job,
-                        born: e.born,
-                        downlink: e.downlink,
-                        pair: e.pair,
-                        map,
-                    }
-                }
-            },
-        );
-        spawn_pool(
-            scope,
-            cfg.workers.detect,
-            &q_detect,
-            &q_sink,
-            &m_detect,
-            || warm_dsp_plans(sys),
-            {
-                let arena = arena.clone();
-                move |e: EnvMapped| {
-                    let _fs = trace::frame_scope(e.job.id);
-                    let mut mean_power = arena.scratch.take_or(Vec::new);
-                    let outcome = if e.job.scenario.extra_tags.is_empty() {
-                        detect_stage_with(
-                            &e.job.scenario,
-                            &e.pair,
-                            &e.map,
-                            e.downlink,
-                            &mut mean_power,
-                        )
-                    } else {
-                        // Multi-tag frames go through the batched engine. The
-                        // bank lease keeps its cached per-tag templates when
-                        // it cycles back to a frame with the same tag set.
-                        let mut bank = arena.banks.take_or(TagBank::default);
-                        let mut scratch = arena.multitag.take_or(MultiTagScratch::default);
-                        detect_stage_multi(
+                },
+            );
+            spawn_pool(
+                scope,
+                cfg.workers.dechirp,
+                &q_dechirp,
+                &q_align,
+                &m_dechirp,
+                || {},
+                {
+                    let arena = arena.clone();
+                    move |e: EnvSynth| {
+                        let _fs = trace::frame_scope(e.job.id);
+                        let mut if_data = arena.if_slabs.take_or(SampleSlab::new);
+                        dechirp_stage_into(
                             intra,
-                            &e.job.scenario,
-                            &e.pair,
-                            &e.map,
-                            e.downlink,
-                            &mut bank,
-                            &mut scratch,
-                            &mut mean_power,
-                        )
-                    };
-                    // Pair, map, and scratch leases drop here — recycled.
-                    EnvDone {
-                        id: e.job.id,
-                        born: e.born,
-                        outcome,
+                            sys,
+                            &e.synth.train,
+                            &e.synth.scene,
+                            e.job.seed,
+                            &mut if_data,
+                        );
+                        EnvIf {
+                            job: e.job,
+                            born: e.born,
+                            train: e.synth.train,
+                            downlink: e.synth.downlink,
+                            if_data,
+                        }
                     }
-                }
-            },
-        );
+                },
+            );
+            spawn_pool(
+                scope,
+                cfg.workers.align,
+                &q_align,
+                &q_doppler,
+                &m_align,
+                || warm_dsp_plans(sys),
+                {
+                    let arena = arena.clone();
+                    move |e: EnvIf| {
+                        let _fs = trace::frame_scope(e.job.id);
+                        let mut pair = arena.aligned.take_or(AlignedPair::default);
+                        align_stage_into(intra, sys, &e.train, &*e.if_data, &mut pair);
+                        // `e.if_data` drops here: the slab returns to the arena.
+                        EnvAligned {
+                            job: e.job,
+                            born: e.born,
+                            downlink: e.downlink,
+                            pair,
+                        }
+                    }
+                },
+            );
+            spawn_pool(
+                scope,
+                cfg.workers.doppler,
+                &q_doppler,
+                &q_detect,
+                &m_doppler,
+                || warm_dsp_plans(sys),
+                {
+                    let arena = arena.clone();
+                    move |e: EnvAligned| {
+                        let _fs = trace::frame_scope(e.job.id);
+                        let mut map = arena.maps.take_or(RangeDopplerMap::default);
+                        doppler_stage_into(intra, &e.pair, &mut map);
+                        EnvMapped {
+                            job: e.job,
+                            born: e.born,
+                            downlink: e.downlink,
+                            pair: e.pair,
+                            map,
+                        }
+                    }
+                },
+            );
+            spawn_pool(
+                scope,
+                cfg.workers.detect,
+                &q_detect,
+                &q_sink,
+                &m_detect,
+                || warm_dsp_plans(sys),
+                {
+                    let arena = arena.clone();
+                    move |e: EnvMapped| {
+                        let _fs = trace::frame_scope(e.job.id);
+                        let mut mean_power = arena.scratch.take_or(Vec::new);
+                        let outcome = if e.job.scenario.extra_tags.is_empty() {
+                            detect_stage_with(
+                                &e.job.scenario,
+                                &e.pair,
+                                &e.map,
+                                e.downlink,
+                                &mut mean_power,
+                            )
+                        } else {
+                            // Multi-tag frames go through the batched engine. The
+                            // bank lease keeps its cached per-tag templates when
+                            // it cycles back to a frame with the same tag set.
+                            let mut bank = arena.banks.take_or(TagBank::default);
+                            let mut scratch = arena.multitag.take_or(MultiTagScratch::default);
+                            detect_stage_multi(
+                                intra,
+                                &e.job.scenario,
+                                &e.pair,
+                                &e.map,
+                                e.downlink,
+                                &mut bank,
+                                &mut scratch,
+                                &mut mean_power,
+                            )
+                        };
+                        // Pair, map, and scratch leases drop here — recycled.
+                        EnvDone {
+                            id: e.job.id,
+                            born: e.born,
+                            outcome,
+                        }
+                    }
+                },
+            );
 
-        // The caller's thread is the sink: it restores frame-id order after
-        // the unordered worker pools.
-        let mut acc = Vec::with_capacity(n_jobs);
-        while let Some(done) = q_sink.pop() {
-            let _fs = trace::frame_scope(done.id);
-            let _span = biscatter_obs::span!("runtime.sink");
-            e2e.record(done.born.elapsed());
-            acc.push((done.id, done.outcome));
+            // The caller's thread is the sink: it restores frame-id order
+            // after the unordered worker pools.
+            let mut acc = Vec::with_capacity(n_jobs);
+            while let Some(done) = q_sink.pop() {
+                let _fs = trace::frame_scope(done.id);
+                let _span = biscatter_obs::span!("runtime.sink");
+                let lat = done.born.elapsed();
+                e2e.record(lat);
+                self.frames.inc();
+                self.frame_ns.record(lat);
+                acc.push((done.id, done.outcome));
+            }
+            acc
+        });
+        let elapsed = t0.elapsed();
+        outcomes.sort_by_key(|&(id, _)| id);
+
+        let stages = vec![
+            m_synth.snapshot(q_synth.high_water(), q_synth.drops()),
+            m_dechirp.snapshot(q_dechirp.high_water(), q_dechirp.drops()),
+            m_align.snapshot(q_align.high_water(), q_align.drops()),
+            m_doppler.snapshot(q_doppler.high_water(), q_doppler.drops()),
+            m_detect.snapshot(q_detect.high_water(), q_detect.drops()),
+        ];
+        let total_drops = stages.iter().map(|s| s.queue_drops).sum::<u64>() + q_sink.drops();
+        let metrics = MetricsSnapshot {
+            stages,
+            end_to_end: e2e.snapshot(),
+            frames_completed: outcomes.len() as u64,
+            total_drops,
+            elapsed,
+            registry: biscatter_obs::registry().snapshot(),
+        };
+        if let Some(path) = trace_path {
+            dump_trace(&path, &metrics);
         }
-        acc
-    });
-    let elapsed = t0.elapsed();
-    outcomes.sort_by_key(|&(id, _)| id);
-
-    let stages = vec![
-        m_synth.snapshot(q_synth.high_water(), q_synth.drops()),
-        m_dechirp.snapshot(q_dechirp.high_water(), q_dechirp.drops()),
-        m_align.snapshot(q_align.high_water(), q_align.drops()),
-        m_doppler.snapshot(q_doppler.high_water(), q_doppler.drops()),
-        m_detect.snapshot(q_detect.high_water(), q_detect.drops()),
-    ];
-    let total_drops = stages.iter().map(|s| s.queue_drops).sum::<u64>() + q_sink.drops();
-    let metrics = MetricsSnapshot {
-        stages,
-        end_to_end: e2e.snapshot(),
-        frames_completed: outcomes.len() as u64,
-        total_drops,
-        elapsed,
-        registry: biscatter_obs::registry().snapshot(),
-    };
-    if let Some(path) = trace_path {
-        dump_trace(&path, &metrics);
+        RunReport { outcomes, metrics }
     }
-    RunReport { outcomes, metrics }
+}
+
+/// Streams `jobs` through the staged pipeline with the legacy process-global
+/// metric names and collects every outcome. Equivalent to
+/// [`Cell::standalone`] followed by [`Cell::run_streaming`].
+pub fn run_streaming(sys: &BiScatterSystem, jobs: Vec<FrameJob>, cfg: &RuntimeConfig) -> RunReport {
+    Cell::standalone(sys.clone(), *cfg).run_streaming(jobs)
 }
 
 /// Writes the Perfetto trace for everything recorded so far (plus the
 /// registry snapshot under the extra `"registry"` key, which trace viewers
-/// ignore) to `path`. Failures are reported, not fatal — telemetry must not
-/// take down a run that already finished.
+/// ignore) to `path`. Re-entrant: spans accumulate across calls in a
+/// process-wide collector, so repeated runs — or many cells dumping at
+/// their own shutdown — each write a superset, never clobbering earlier
+/// spans. Failures are reported, not fatal — telemetry must not take down a
+/// run that already finished.
 fn dump_trace(path: &str, metrics: &MetricsSnapshot) {
-    let collector = trace::TraceCollector::drain();
-    let doc = collector.chrome_trace_extra([("registry".to_string(), metrics.registry.to_json())]);
-    match std::fs::write(path, doc.to_pretty()) {
-        Ok(()) => eprintln!(
+    match trace::export_accumulated(path, [("registry".to_string(), metrics.registry.to_json())]) {
+        Ok(summary) => eprintln!(
             "BISCATTER_TRACE: wrote {} spans from {} threads to {path}",
-            collector.span_count(),
-            collector.threads.len(),
+            summary.spans, summary.threads,
         ),
         Err(err) => eprintln!("BISCATTER_TRACE: failed to write {path}: {err}"),
     }

@@ -37,6 +37,26 @@ struct QueueMetrics {
     drops: Counter,
 }
 
+/// Outcome of a non-blocking [`BoundedQueue::try_pop`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The queue is open but currently empty — try again later.
+    Empty,
+    /// The queue is closed and fully drained — no more items will arrive.
+    Closed,
+}
+
+/// Why a non-blocking [`BoundedQueue::try_push`] declined the item.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; the item is handed back untouched.
+    Full(T),
+    /// The queue is closed; the item is gone.
+    Closed,
+}
+
 /// A bounded multi-producer/multi-consumer queue.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
@@ -70,12 +90,22 @@ impl<T> BoundedQueue<T> {
     /// (sampled at each push) and `.high_water` gauges plus a `.drops`
     /// eviction counter to the global metric registry.
     pub fn named(capacity: usize, policy: Backpressure, name: &str) -> Self {
+        Self::named_at(capacity, policy, &format!("runtime.queue.{name}"))
+    }
+
+    /// Like [`named`](Self::named) but takes the full registry base name
+    /// instead of prepending `runtime.queue.`. Multi-cell processes scope
+    /// their queues as `cell<id>.runtime.queue.<stage>` (and the fleet
+    /// intake as `cell<id>.fleet.intake`) so concurrent pipelines report
+    /// disjoint gauges; the legacy unscoped names remain the single-cell
+    /// default.
+    pub fn named_at(capacity: usize, policy: Backpressure, base: &str) -> Self {
         let r = biscatter_obs::registry();
         let mut q = Self::new(capacity, policy);
         q.metrics = Some(QueueMetrics {
-            depth: r.gauge(&format!("runtime.queue.{name}.depth")),
-            high_water: r.gauge(&format!("runtime.queue.{name}.high_water")),
-            drops: r.counter(&format!("runtime.queue.{name}.drops")),
+            depth: r.gauge(&format!("{base}.depth")),
+            high_water: r.gauge(&format!("{base}.high_water")),
+            drops: r.counter(&format!("{base}.drops")),
         });
         q
     }
@@ -133,6 +163,75 @@ impl<T> BoundedQueue<T> {
             }
             st = self.not_empty.wait(st).expect("queue lock");
         }
+    }
+
+    /// Non-blocking pop for cooperative schedulers that multiplex several
+    /// queues on one thread: returns immediately instead of waiting.
+    pub fn try_pop(&self) -> TryPop<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        if let Some(item) = st.items.pop_front() {
+            if let Some(m) = &self.metrics {
+                m.depth.set(st.items.len() as f64);
+            }
+            self.not_full.notify_one();
+            return TryPop::Item(item);
+        }
+        if st.closed {
+            TryPop::Closed
+        } else {
+            TryPop::Empty
+        }
+    }
+
+    /// Non-blocking push: enqueues `item` only if there is room right now.
+    /// Returns the item back to the caller when the queue is full (so a
+    /// rejecting admission policy can count and discard it) and drops it
+    /// with `Err` when closed. Never evicts, regardless of policy.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return Err(TryPushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        st.items.push_back(item);
+        st.high_water = st.high_water.max(st.items.len());
+        if let Some(m) = &self.metrics {
+            m.depth.set(st.items.len() as f64);
+            m.high_water.set_max(st.high_water as f64);
+        }
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Push that evicts the oldest queued item when full (regardless of the
+    /// queue's configured policy), returning the evicted item so the caller
+    /// can account for it — the fleet's drop-oldest admission needs the
+    /// victim to keep handoff sessions live. Returns `Err(item)` if closed.
+    pub fn push_evict(&self, item: T) -> Result<Option<T>, T> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return Err(item);
+        }
+        let evicted = if st.items.len() >= self.capacity {
+            let victim = st.items.pop_front();
+            st.drops += 1;
+            if let Some(m) = &self.metrics {
+                m.drops.inc();
+            }
+            victim
+        } else {
+            None
+        };
+        st.items.push_back(item);
+        st.high_water = st.high_water.max(st.items.len());
+        if let Some(m) = &self.metrics {
+            m.depth.set(st.items.len() as f64);
+            m.high_water.set_max(st.high_water as f64);
+        }
+        self.not_empty.notify_one();
+        Ok(evicted)
     }
 
     /// Closes the queue: producers fail fast, consumers drain what remains.
@@ -220,6 +319,41 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(!producer.join().unwrap(), "close must release the producer");
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2, Backpressure::Block);
+        assert_eq!(q.try_pop(), TryPop::Empty);
+        q.push(5);
+        assert_eq!(q.try_pop(), TryPop::Item(5));
+        assert_eq!(q.try_pop(), TryPop::Empty);
+        q.close();
+        assert_eq!(q.try_pop(), TryPop::Closed);
+    }
+
+    #[test]
+    fn try_push_hands_back_on_full() {
+        let q = BoundedQueue::new(1, Backpressure::Block);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(TryPushError::Full(2)));
+        assert_eq!(q.drops(), 0, "a rejected push is not an eviction");
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.try_push(3), Err(TryPushError::Closed));
+    }
+
+    #[test]
+    fn push_evict_returns_the_victim() {
+        let q = BoundedQueue::new(2, Backpressure::Block);
+        assert_eq!(q.push_evict(1), Ok(None));
+        assert_eq!(q.push_evict(2), Ok(None));
+        assert_eq!(q.push_evict(3), Ok(Some(1)));
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        assert_eq!(q.push_evict(4), Err(4));
     }
 
     #[test]

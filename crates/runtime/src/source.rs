@@ -168,6 +168,194 @@ pub fn multi_tag_jobs(
         .collect()
 }
 
+/// Identity of a mobile tag's uplink-session frame inside a fleet workload.
+///
+/// A mobile tag emits one uplink frame per tick; `seq` is the tick, i.e.
+/// the tag's session-local frame index. Whichever cell processes the frame
+/// appends its decoded bits to the tag's session at position `seq` — the
+/// `HandoffBus` in `biscatter-fleet` uses this ordering key to keep the
+/// accumulated bit sequence identical no matter how cells are sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionHop {
+    /// Which mobile tag (0-based, stable across the whole workload).
+    pub tag: usize,
+    /// The tag's session-local frame index (append order).
+    pub seq: u64,
+}
+
+/// One frame of fleet work: a [`FrameJob`] bound for a specific cell, plus
+/// the uplink-session hop when the frame belongs to a mobile tag.
+#[derive(Debug, Clone)]
+pub struct CellJob {
+    /// Destination cell index in `0..n_cells`.
+    pub cell: usize,
+    /// `Some` when this frame carries a mobile tag's uplink window.
+    pub hop: Option<SessionHop>,
+    /// The frame itself (id is globally unique across the fleet).
+    pub job: FrameJob,
+}
+
+/// Parameters of a deterministic multi-cell mobility workload.
+///
+/// The fleet timeline advances in ticks `0..n_ticks`; every cell receives
+/// exactly one frame per tick. `mobile_tags` tags roam the fleet: at tick
+/// `t`, tag `m` is camped in cell `(m + t / dwell_ticks) % n_cells`, so
+/// after each dwell period every mobile tag hands off to the next cell
+/// (identity and uplink session intact). Cells not hosting a mobile tag at
+/// a tick process a stationary background frame. Geometry, payloads, uplink
+/// bits, and seeds are all pure functions of `(spec, tick, cell)`, like
+/// [`WorkloadSpec::jobs`].
+#[derive(Debug, Clone, Copy)]
+pub struct MobilitySpec {
+    /// Number of radar cells in the fleet.
+    pub n_cells: usize,
+    /// Number of roaming tags (at most `n_cells`: the camping rule parks
+    /// distinct tags in distinct cells).
+    pub mobile_tags: usize,
+    /// Ticks in the workload; every mobile tag emits one uplink frame per
+    /// tick, so each session accumulates `n_ticks` windows of bits.
+    pub n_ticks: usize,
+    /// Ticks a mobile tag camps in one cell before handing off.
+    pub dwell_ticks: usize,
+    /// Base seed; every per-frame seed derives from it.
+    pub base_seed: u64,
+}
+
+impl MobilitySpec {
+    /// A two-cell smoke configuration (used by the handoff determinism
+    /// test): one tag bouncing between two cells every `dwell` ticks.
+    pub fn two_cell(n_ticks: usize, dwell: usize, base_seed: u64) -> Self {
+        MobilitySpec {
+            n_cells: 2,
+            mobile_tags: 1,
+            n_ticks,
+            dwell_ticks: dwell,
+            base_seed,
+        }
+    }
+
+    /// Which cell mobile tag `m` is camped in at tick `t`.
+    pub fn cell_of(&self, tag: usize, tick: u64) -> usize {
+        (tag + (tick as usize / self.dwell_ticks.max(1))) % self.n_cells
+    }
+
+    /// Uplink bits per mobile frame for `sys` (one bit per 8 chirps, the
+    /// same framing as [`multi_tag_jobs`]).
+    pub fn bits_per_frame(sys: &BiScatterSystem) -> usize {
+        sys.frame_chirps / 8
+    }
+
+    /// The seeded uplink bits mobile tag `tag` transmits at tick `seq` —
+    /// the ground truth the decoded session is checked against.
+    pub fn tx_bits(&self, sys: &BiScatterSystem, tag: usize, seq: u64) -> Vec<bool> {
+        let n_bits = Self::bits_per_frame(sys);
+        let mut s = splitmix64(self.base_seed ^ 0xB17_5EED ^ ((tag as u64) << 32) ^ seq);
+        (0..n_bits)
+            .map(|_| {
+                s = splitmix64(s);
+                s & 1 == 1
+            })
+            .collect()
+    }
+
+    /// The frame mobile tag `tag` emits at tick `seq`, independent of which
+    /// cell hosts it — handoff must not change the radio link, only the
+    /// owner. (Globally unique frame ids come from [`Self::jobs`]; the
+    /// oracle path reuses this builder with the same ids.)
+    fn mobile_job(&self, sys: &BiScatterSystem, id: u64, tag: usize, seq: u64) -> FrameJob {
+        let frame_s = sys.frame_chirps as f64 * sys.radar.t_period;
+        let seed = splitmix64(
+            self.base_seed ^ ((tag as u64) << 48) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Doppler bins 16, 18, … keep each mobile tag's fundamental on its
+        // own map row, in the band the OOK subcarrier decoder resolves most
+        // reliably for 32-chirp frames.
+        let mod_freq_hz = (16 + 2 * tag) as f64 / frame_s;
+        let mut scenario = IsacScenario::single_tag(4.0 + 0.6 * tag as f64, mod_freq_hz);
+        scenario.uplink_bits = self.tx_bits(sys, tag, seq);
+        scenario.uplink_scheme = UplinkScheme::Ook {
+            freq_hz: mod_freq_hz,
+        };
+        scenario.uplink_bit_duration_s = 8.0 * sys.radar.t_period;
+        FrameJob {
+            id,
+            radar_id: 0,
+            tag_id: tag,
+            scenario,
+            payload: seed.to_be_bytes()[..4].to_vec(),
+            seed,
+        }
+    }
+
+    /// The background frame cell `cell` processes when no mobile tag is
+    /// camped there: a stationary tag against office clutter. (`id` encodes
+    /// the tick, so the seed is still tick-unique.)
+    fn background_job(&self, sys: &BiScatterSystem, id: u64, cell: usize) -> FrameJob {
+        let frame_s = sys.frame_chirps as f64 * sys.radar.t_period;
+        let seed = splitmix64(self.base_seed ^ id.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut scenario = IsacScenario::single_tag(3.0 + 0.5 * (cell % 8) as f64, 24.0 / frame_s);
+        scenario.clutter = vec![ClutterSpec {
+            range_m: 6.5,
+            relative_amp: 5.0,
+        }];
+        FrameJob {
+            id,
+            radar_id: cell,
+            tag_id: 0,
+            scenario,
+            payload: seed.to_be_bytes()[..4].to_vec(),
+            seed,
+        }
+    }
+
+    /// Expands the spec into the fleet's full job list, tick-major then
+    /// cell-major (the admission order a fleet feeder uses). Frame
+    /// `tick * n_cells + cell` goes to `cell`; at most one mobile tag camps
+    /// per cell per tick.
+    pub fn jobs(&self, sys: &BiScatterSystem) -> Vec<CellJob> {
+        assert!(self.n_cells > 0, "fleet needs at least one cell");
+        assert!(
+            self.mobile_tags <= self.n_cells,
+            "at most one mobile tag per cell per tick"
+        );
+        let mut out = Vec::with_capacity(self.n_cells * self.n_ticks);
+        for tick in 0..self.n_ticks as u64 {
+            // Invert the camping rule once per tick: which tag (if any) is
+            // in each cell right now.
+            let mut tag_in_cell: Vec<Option<usize>> = vec![None; self.n_cells];
+            for tag in 0..self.mobile_tags {
+                tag_in_cell[self.cell_of(tag, tick)] = Some(tag);
+            }
+            for (cell, camped) in tag_in_cell.iter().enumerate() {
+                let id = tick * self.n_cells as u64 + cell as u64;
+                let (job, hop) = match *camped {
+                    Some(tag) => (
+                        self.mobile_job(sys, id, tag, tick),
+                        Some(SessionHop { tag, seq: tick }),
+                    ),
+                    None => (self.background_job(sys, id, cell), None),
+                };
+                out.push(CellJob { cell, hop, job });
+            }
+        }
+        out
+    }
+
+    /// The single-cell oracle for mobile tag `tag`: its frames in session
+    /// order, exactly as [`Self::jobs`] would route them (same ids, same
+    /// seeds). Decoding these serially and concatenating the bits gives the
+    /// reference session the sharded fleet must reproduce bit-for-bit.
+    pub fn oracle_jobs(&self, sys: &BiScatterSystem, tag: usize) -> Vec<FrameJob> {
+        (0..self.n_ticks as u64)
+            .map(|tick| {
+                let cell = self.cell_of(tag, tick);
+                let id = tick * self.n_cells as u64 + cell as u64;
+                self.mobile_job(sys, id, tag, tick)
+            })
+            .collect()
+    }
+}
+
 /// A reduced-cost `paper_9ghz` system for streaming tests, examples, and
 /// benchmarks: 32-chirp frames and 256-point range processing keep a single
 /// frame cheap enough that multi-hundred-frame streams run in CI, while every
@@ -218,6 +406,66 @@ mod tests {
         let tags: std::collections::BTreeSet<_> = jobs.iter().map(|j| j.tag_id).collect();
         assert_eq!(radars.len(), 4);
         assert_eq!(tags.len(), 8);
+    }
+
+    #[test]
+    fn mobility_jobs_route_one_mobile_tag_per_cell_per_tick() {
+        let sys = streaming_system();
+        let spec = MobilitySpec {
+            n_cells: 4,
+            mobile_tags: 3,
+            n_ticks: 12,
+            dwell_ticks: 2,
+            base_seed: 9,
+        };
+        let jobs = spec.jobs(&sys);
+        assert_eq!(jobs.len(), 4 * 12);
+        // Ids are globally unique and tick-major.
+        for (i, cj) in jobs.iter().enumerate() {
+            assert_eq!(cj.job.id, i as u64);
+            assert_eq!(cj.cell, i % 4);
+        }
+        // Every tick carries exactly `mobile_tags` hops, in distinct cells.
+        for tick in 0..12u64 {
+            let hops: Vec<_> = jobs
+                .iter()
+                .filter(|cj| cj.job.id / 4 == tick && cj.hop.is_some())
+                .collect();
+            assert_eq!(hops.len(), 3);
+            let cells: std::collections::BTreeSet<_> = hops.iter().map(|cj| cj.cell).collect();
+            assert_eq!(cells.len(), 3);
+            for cj in hops {
+                let hop = cj.hop.unwrap();
+                assert_eq!(hop.seq, tick);
+                assert_eq!(spec.cell_of(hop.tag, tick), cj.cell);
+            }
+        }
+        // Each tag visits more than one cell over the workload (handoffs
+        // actually happen).
+        for tag in 0..3 {
+            let cells: std::collections::BTreeSet<_> =
+                (0..12).map(|t| spec.cell_of(tag, t)).collect();
+            assert!(cells.len() > 1, "tag {tag} never handed off");
+        }
+    }
+
+    #[test]
+    fn mobility_oracle_matches_routed_mobile_frames() {
+        let sys = streaming_system();
+        let spec = MobilitySpec::two_cell(10, 3, 77);
+        let jobs = spec.jobs(&sys);
+        let oracle = spec.oracle_jobs(&sys, 0);
+        assert_eq!(oracle.len(), 10);
+        let routed: Vec<_> = jobs
+            .iter()
+            .filter(|cj| cj.hop.is_some_and(|h| h.tag == 0))
+            .collect();
+        assert_eq!(routed.len(), 10);
+        for (o, r) in oracle.iter().zip(&routed) {
+            assert_eq!(o.id, r.job.id);
+            assert_eq!(o.seed, r.job.seed);
+            assert_eq!(o.scenario.uplink_bits, r.job.scenario.uplink_bits);
+        }
     }
 
     #[test]
