@@ -4,9 +4,15 @@
 //!
 //! * per-frame latency of stages 2–4 (dechirp → align → doppler) on a
 //!   1-thread (serial) pool vs a pool sized to the machine;
+//! * per-frame latency of the same stages on the f32 fast tier
+//!   (`biscatter_core::isac::precision`), with its own zero-allocation
+//!   audit and a `>= 2.5x` single-thread speedup check when the AVX2
+//!   kernels are dispatched;
 //! * steady-state heap allocations of one arena-path frame (counted by a
 //!   wrapping global allocator; must be 0);
-//! * a serial-vs-pooled bit-equality check on every stage output.
+//! * a serial-vs-pooled bit-equality check on every f64 stage output (the
+//!   f32 tier carries no bit contract — it is oracle-bounded instead, see
+//!   `crates/core/tests/precision_oracle.rs`).
 //!
 //! A plain `main` (harness = false) so the medians can be written to JSON.
 //! `--quick` runs one frame per path and skips the JSON write, but still
@@ -18,12 +24,17 @@ use std::cell::Cell;
 use std::hint::black_box;
 use std::time::Instant;
 
+use biscatter_bench::dispatch_json_fields;
+use biscatter_core::dsp::dispatch::{tier, SimdTier};
+use biscatter_core::isac::precision::{
+    align_stage_into_f32, dechirp_stage_into_f32, doppler_stage_into_f32, AlignedPair32,
+};
 use biscatter_core::isac::{
     align_stage_into, dechirp_stage_into, doppler_stage_into, synthesize_frame, warm_dsp_plans,
     AlignedPair, FrameArena, IsacScenario, SynthesizedFrame,
 };
 use biscatter_core::radar::receiver::doppler::RangeDopplerMap;
-use biscatter_core::rf::slab::SampleSlab;
+use biscatter_core::rf::slab::{SampleSlab, SampleSlab32};
 use biscatter_core::system::BiScatterSystem;
 use biscatter_runtime::compute::ComputePool;
 
@@ -77,6 +88,24 @@ fn run_frame(
     doppler_stage_into(pool, pair, map);
 }
 
+/// The same frame through the f32 fast tier (stages 2–4 in single
+/// precision), recycling f32 slabs through the arena's `if_slabs32` /
+/// `aligned32` pools.
+fn run_frame_f32(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    synth: &SynthesizedFrame,
+    arena: &FrameArena,
+    pair: &mut AlignedPair32,
+    map: &mut RangeDopplerMap,
+    seed: u64,
+) {
+    let mut slab = arena.if_slabs32.take_or(SampleSlab32::new);
+    dechirp_stage_into_f32(pool, sys, &synth.train, &synth.scene, seed, &mut slab);
+    align_stage_into_f32(pool, sys, &synth.train, &slab, pair);
+    doppler_stage_into_f32(pool, pair, map);
+}
+
 /// Median per-frame seconds over `samples` runs (one warm-up discarded); in
 /// quick mode the frame runs exactly once.
 fn median_frame_s(
@@ -97,6 +126,32 @@ fn median_frame_s(
     for _ in 0..samples {
         let t0 = Instant::now();
         run_frame(pool, sys, synth, &arena, &mut pair, &mut map, 1);
+        times.push(t0.elapsed().as_secs_f64());
+        black_box(map.at(0, 0));
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// [`median_frame_s`] for the f32 fast tier.
+fn median_frame_f32_s(
+    quick: bool,
+    samples: usize,
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    synth: &SynthesizedFrame,
+) -> f64 {
+    let arena = FrameArena::default();
+    let mut pair = AlignedPair32::default();
+    let mut map = RangeDopplerMap::default();
+    run_frame_f32(pool, sys, synth, &arena, &mut pair, &mut map, 1);
+    if quick {
+        return 0.0;
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        run_frame_f32(pool, sys, synth, &arena, &mut pair, &mut map, 1);
         times.push(t0.elapsed().as_secs_f64());
         black_box(map.at(0, 0));
     }
@@ -158,6 +213,20 @@ fn main() {
         "arena frame path allocated in steady state"
     );
 
+    // --- Steady-state allocation count on the f32 arena path. ------------
+    let (mut pair32, mut map32) = (AlignedPair32::default(), RangeDopplerMap::default());
+    for _ in 0..3 {
+        run_frame_f32(&serial, &sys, &synth, &arena_a, &mut pair32, &mut map32, 1);
+    }
+    ALLOCS.with(|c| c.set(0));
+    run_frame_f32(&serial, &sys, &synth, &arena_a, &mut pair32, &mut map32, 1);
+    let steady_allocs_f32 = ALLOCS.with(|c| c.replace(-1));
+    println!("steady-state allocations (stages 2-4, f32 arena path): {steady_allocs_f32}");
+    assert_eq!(
+        steady_allocs_f32, 0,
+        "f32 arena frame path allocated in steady state"
+    );
+
     // --- Per-frame latency, serial vs pooled. ----------------------------
     let serial_s = median_frame_s(quick, samples, &serial, &sys, &synth);
     let pooled_s = median_frame_s(quick, samples, &pooled, &sys, &synth);
@@ -173,16 +242,37 @@ fn main() {
         pooled_s * 1e3,
     );
 
+    // --- f32 fast tier, single thread vs the serial f64 oracle. ----------
+    let serial_f32_s = median_frame_f32_s(quick, samples, &serial, &sys, &synth);
+    let f32_speedup = if serial_f32_s > 0.0 {
+        serial_s / serial_f32_s
+    } else {
+        0.0
+    };
+    println!(
+        "frame stages 2-4 (f32 tier, {} dispatch): serial {:.2} ms, {f32_speedup:.2}x vs serial f64",
+        tier().name(),
+        serial_f32_s * 1e3,
+    );
+    if !quick && tier() == SimdTier::Avx2 {
+        assert!(
+            f32_speedup >= 2.5,
+            "f32+AVX2 tier must be >= 2.5x over serial f64, got {f32_speedup:.2}x"
+        );
+    }
+
     if quick {
         println!("--quick: smoke run only, results/BENCH_frame.json not rewritten");
         return;
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"frame hot path (crates/bench/benches/frame.rs)\",\n  \"note\": \"stages 2-4 (dechirp -> align -> doppler) of one ISAC frame, medians of {samples} runs after warm-up; serial = 1-thread pool (inline), pooled = min(cores, 8) threads. steady_state_allocs counted by a wrapping global allocator over one arena-path frame; acceptance: 0. speedup target (>= 1.8x) asserted by the core-count-gated test crates/core/tests/frame_speedup.rs on machines with >= 4 cores.\",\n  \"cores\": {cores},\n  \"pooled_threads\": {},\n  \"serial_frame_ns\": {:.0},\n  \"pooled_frame_ns\": {:.0},\n  \"speedup\": {speedup:.2},\n  \"steady_state_allocs\": {steady_allocs},\n  \"bit_identical\": true\n}}\n",
+        "{{\n  \"bench\": \"frame hot path (crates/bench/benches/frame.rs)\",\n  \"note\": \"stages 2-4 (dechirp -> align -> doppler) of one ISAC frame, medians of {samples} runs after warm-up; serial = 1-thread pool (inline), pooled = min(cores, 8) threads; f32 = single-precision fast tier (biscatter_core::isac::precision) on the 1-thread pool, compared against serial f64. steady_state_allocs counted by a wrapping global allocator over one arena-path frame per tier; acceptance: 0 on both. f32_speedup target (>= 2.5x under avx2 dispatch) asserted here and by the dispatch-gated test crates/core/tests/frame_speedup.rs. bit_identical covers the f64 path only (serial vs pooled); the f32 tier is oracle-bounded instead (crates/core/tests/precision_oracle.rs).\",\n  {dispatch},\n  \"cores\": {cores},\n  \"pooled_threads\": {},\n  \"serial_frame_ns\": {:.0},\n  \"pooled_frame_ns\": {:.0},\n  \"speedup\": {speedup:.2},\n  \"serial_frame_f32_ns\": {:.0},\n  \"f32_speedup\": {f32_speedup:.2},\n  \"steady_state_allocs\": {steady_allocs},\n  \"steady_state_allocs_f32\": {steady_allocs_f32},\n  \"bit_identical\": true\n}}\n",
         pooled.threads(),
         serial_s * 1e9,
         pooled_s * 1e9,
+        serial_f32_s * 1e9,
+        dispatch = dispatch_json_fields(),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

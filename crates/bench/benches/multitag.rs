@@ -269,8 +269,9 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"batched multi-tag detection (crates/bench/benches/multitag.rs)\",\n  \"note\": \"one-pass localization + uplink decode for K registered tags on one {N_CHIRPS}-chirp x {N_RANGE}-range-bin frame, medians of {samples} runs after warm-up on a 1-thread pool; sequential = per-tag locate_tag + demodulate loop, batched = multitag::detect_all with a warm TagBank + MultiTagScratch. steady_state_allocs counted by a wrapping global allocator over one batched K=64 pass; acceptance: 0 allocs, bit-identical outputs at every K, and >= 3x at K=64.\",\n  \"n_chirps\": {N_CHIRPS},\n  \"n_range_bins\": {N_RANGE},\n  \"per_k\": [\n{}\n  ],\n  \"speedup_at_64\": {speedup_at_64:.2},\n  \"steady_state_allocs\": {steady_allocs_at_64},\n  \"bit_identical\": true\n}}\n",
-        per_k.join(",\n")
+        "{{\n  \"bench\": \"batched multi-tag detection (crates/bench/benches/multitag.rs)\",\n  {dispatch},\n  \"note\": \"one-pass localization + uplink decode for K registered tags on one {N_CHIRPS}-chirp x {N_RANGE}-range-bin frame, medians of {samples} runs after warm-up on a 1-thread pool; sequential = per-tag locate_tag + demodulate loop, batched = multitag::detect_all with a warm TagBank + MultiTagScratch. steady_state_allocs counted by a wrapping global allocator over one batched K=64 pass; acceptance: 0 allocs, bit-identical outputs at every K, and >= 3x at K=64.\",\n  \"n_chirps\": {N_CHIRPS},\n  \"n_range_bins\": {N_RANGE},\n  \"per_k\": [\n{}\n  ],\n  \"speedup_at_64\": {speedup_at_64:.2},\n  \"steady_state_allocs\": {steady_allocs_at_64},\n  \"bit_identical\": true\n}}\n",
+        per_k.join(",\n"),
+        dispatch = biscatter_bench::dispatch_json_fields(),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

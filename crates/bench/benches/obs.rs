@@ -218,11 +218,12 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"telemetry overhead (crates/bench/benches/obs.rs)\",\n  \"note\": \"stages 2-4 of one ISAC frame on a 1-thread pool; disabled/enabled samples interleaved pairwise ({samples} pairs, medians) so machine drift cancels. disabled = tracing off (one relaxed atomic load + branch per span site); enabled = spans recorded into the per-thread ring. vs_untraced_baseline_pct compares the disabled path to serial_frame_ns in results/BENCH_frame.json (same stages, same system, separate process); acceptance: within 2%, regenerate both back-to-back. traced_steady_state_allocs counted by a wrapping global allocator with tracing enabled; acceptance: 0.\",\n  \"disabled_frame_ns\": {:.0},\n  \"enabled_frame_ns\": {:.0},\n  \"enabled_overhead_pct\": {enabled_overhead_pct:.2},\n  \"vs_untraced_baseline_pct\": {},\n  \"spans_per_frame\": {spans_per_frame},\n  \"trace_export_us\": {:.1},\n  \"traced_steady_state_allocs\": {traced_allocs}\n}}\n",
+        "{{\n  \"bench\": \"telemetry overhead (crates/bench/benches/obs.rs)\",\n  {dispatch},\n  \"note\": \"stages 2-4 of one ISAC frame on a 1-thread pool; disabled/enabled samples interleaved pairwise ({samples} pairs, medians) so machine drift cancels. disabled = tracing off (one relaxed atomic load + branch per span site); enabled = spans recorded into the per-thread ring. vs_untraced_baseline_pct compares the disabled path to serial_frame_ns in results/BENCH_frame.json (same stages, same system, separate process); acceptance: within 2%, regenerate both back-to-back. traced_steady_state_allocs counted by a wrapping global allocator with tracing enabled; acceptance: 0.\",\n  \"disabled_frame_ns\": {:.0},\n  \"enabled_frame_ns\": {:.0},\n  \"enabled_overhead_pct\": {enabled_overhead_pct:.2},\n  \"vs_untraced_baseline_pct\": {},\n  \"spans_per_frame\": {spans_per_frame},\n  \"trace_export_us\": {:.1},\n  \"traced_steady_state_allocs\": {traced_allocs}\n}}\n",
         disabled_s * 1e9,
         enabled_s * 1e9,
         vs_baseline_pct.map_or("null".to_string(), |p| format!("{p:.2}")),
         export_s * 1e6,
+        dispatch = biscatter_bench::dispatch_json_fields(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_obs.json");
     std::fs::write(path, &json).expect("write BENCH_obs.json");

@@ -15,6 +15,24 @@ pub mod figures;
 
 use biscatter_core::experiment::Experiment;
 
+/// JSON fragment recording the SIMD dispatch configuration of the current
+/// process — tier name, lane widths, and the detected CPU feature set.
+///
+/// Every `results/BENCH_*.json` writer splices this in so a perf number can
+/// never be read without knowing which kernels produced it (a scalar-forced
+/// CI run and an AVX2 desktop run are different experiments). Honors
+/// `BISCATTER_SIMD=scalar|auto` through [`biscatter_core::dsp::dispatch`].
+pub fn dispatch_json_fields() -> String {
+    let t = biscatter_core::dsp::dispatch::tier();
+    format!(
+        "\"dispatch_tier\": \"{}\",\n  \"simd_lanes_f64\": {},\n  \"simd_lanes_f32\": {},\n  \"cpu_features\": \"{}\"",
+        t.name(),
+        t.lanes_f64(),
+        t.lanes_f32(),
+        biscatter_core::dsp::dispatch::detected_cpu_features(),
+    )
+}
+
 /// Monte-Carlo frames per operating point (`BISCATTER_FRAMES`, default 60).
 pub fn frames_per_point() -> usize {
     std::env::var("BISCATTER_FRAMES")

@@ -29,12 +29,14 @@
 //!
 //! # Safety
 //!
-//! This is the only crate in the workspace that contains `unsafe` (all
-//! others `#![forbid(unsafe_code)]`). The unsafe core is small and fully
-//! local: lifetime erasure of scoped closures (sound because every scope
-//! waits for its latch before returning, even when unwinding — enforced by
-//! a wait-on-drop guard) and raw-pointer partitioning of slices into
-//! provably disjoint regions (offsets validated up front).
+//! This crate and `biscatter_dsp::simd` (the AVX2 kernel bodies behind
+//! runtime feature detection) are the only places in the workspace that
+//! contain `unsafe` (everything else is `#![forbid(unsafe_code)]`). The
+//! unsafe core here is small and fully local: lifetime erasure of scoped
+//! closures (sound because every scope waits for its latch before
+//! returning, even when unwinding — enforced by a wait-on-drop guard) and
+//! raw-pointer partitioning of slices into provably disjoint regions
+//! (offsets validated up front).
 
 use std::any::Any;
 use std::collections::VecDeque;

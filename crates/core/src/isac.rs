@@ -36,8 +36,10 @@ use biscatter_radar::sequencer::isac_frame;
 use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::if_gen::IfReceiver;
 use biscatter_rf::scene::{Scatterer, Scene, TagModulation};
-use biscatter_rf::slab::{ChirpRows, SampleSlab};
+use biscatter_rf::slab::{ChirpRows, SampleSlab, SampleSlab32};
 use biscatter_tag::decoder::DownlinkDecoder;
+
+pub mod precision;
 
 /// A static reflector in the scenario (range, amplitude relative to the
 /// tag's reflective-state amplitude).
@@ -260,6 +262,11 @@ pub struct FrameArena {
     pub banks: Pool<TagBank>,
     /// Stage 5 multi-tag batch scratch (band/score/amplitude slabs).
     pub multitag: Pool<MultiTagScratch>,
+    /// Stage 2 IF sample slabs for the f32 fast tier (unused — and unsized —
+    /// when every frame runs the f64 oracle path).
+    pub if_slabs32: Pool<SampleSlab32>,
+    /// Stage 3 aligned frame pairs for the f32 fast tier.
+    pub aligned32: Pool<precision::AlignedPair32>,
 }
 
 impl Default for FrameArena {
@@ -287,6 +294,8 @@ impl FrameArena {
             scratch: at(prefix, "scratch"),
             banks: at(prefix, "banks"),
             multitag: at(prefix, "multitag"),
+            if_slabs32: at(prefix, "if_slabs32"),
+            aligned32: at(prefix, "aligned32"),
         }
     }
 }
@@ -552,8 +561,28 @@ fn sensing_detections(pair: &AlignedPair, mean_power: &mut Vec<f64>) -> Vec<Dete
     mean_power.clear();
     mean_power.resize(sensing_frame.range_grid.len(), 0.0);
     for p in &sensing_frame.profiles {
+        biscatter_dsp::simd::norm_sq_accum(mean_power, p);
+    }
+    for acc in mean_power.iter_mut() {
+        *acc /= n;
+    }
+    CfarDetector::default().detect(mean_power, &sensing_frame.range_grid)
+}
+
+/// [`sensing_detections`] for the f32 tier: per-sample `|·|²` is computed in
+/// f32 and widened into the f64 accumulator, so the CFAR detector consumes
+/// the same value domain on either tier.
+pub(crate) fn sensing_detections32(
+    pair: &precision::AlignedPair32,
+    mean_power: &mut Vec<f64>,
+) -> Vec<Detection> {
+    let sensing_frame = &pair.sensing;
+    let n = sensing_frame.n_chirps() as f64;
+    mean_power.clear();
+    mean_power.resize(sensing_frame.range_grid.len(), 0.0);
+    for p in &sensing_frame.profiles {
         for (acc, z) in mean_power.iter_mut().zip(p) {
-            *acc += z.norm_sq();
+            *acc += z.norm_sq() as f64;
         }
     }
     for acc in mean_power.iter_mut() {

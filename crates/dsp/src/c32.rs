@@ -1,0 +1,179 @@
+//! Single-precision complex numbers for the f32 fast tier.
+//!
+//! [`Cpx32`] mirrors [`crate::complex::Cpx`] at half the width. It exists
+//! for the opt-in f32 frame path (`BISCATTER` precision tier), where the
+//! range/Doppler FFTs and the dechirp oscillator run in single precision
+//! and are validated against the f64 oracle by error bounds rather than bit
+//! equality. Geometry (ranges, phases, grids) stays in f64 everywhere; only
+//! the bulk per-sample arithmetic drops to f32 — which is why the
+//! constructors that matter take f64 inputs and round once
+//! ([`Cpx32::from_f64`], [`Cpx32::cis`]).
+
+use crate::complex::Cpx;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i*im` in single precision.
+///
+/// `#[repr(C)]` so the AVX2 kernels may reinterpret `&[Cpx32]` as packed
+/// `re, im` pairs of `f32`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cpx32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Cpx32 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Cpx32 = Cpx32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Cpx32 = Cpx32 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from rectangular parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Cpx32 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f32) -> Self {
+        Cpx32 { re, im: 0.0 }
+    }
+
+    /// Rounds a double-precision value to single precision — the one place
+    /// the f32 tier loses accuracy, so tables (twiddles, phasors) are
+    /// computed exactly in f64 and converted once here.
+    #[inline]
+    pub fn from_f64(z: Cpx) -> Self {
+        Cpx32::new(z.re as f32, z.im as f32)
+    }
+
+    /// Widens back to double precision (exact).
+    #[inline]
+    pub fn to_f64(self) -> Cpx {
+        Cpx::new(self.re as f64, self.im as f64)
+    }
+
+    /// `e^{i*theta}`: evaluated in f64 and rounded once, so the phasor's
+    /// angle error is one f32 ulp rather than a sin/cos of a rounded angle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Cpx32::from_f64(Cpx::cis(theta))
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cpx32::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Cpx32::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn add(self, rhs: Cpx32) -> Cpx32 {
+        Cpx32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn sub(self, rhs: Cpx32) -> Cpx32 {
+        Cpx32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn mul(self, rhs: Cpx32) -> Cpx32 {
+        Cpx32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn neg(self) -> Cpx32 {
+        Cpx32::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Cpx32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cpx32) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Cpx32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cpx32) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Cpx32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cpx32) {
+        *self = *self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_ops_match_f64() {
+        let a = Cpx32::new(1.5, -2.25);
+        let b = Cpx32::new(-0.5, 3.0);
+        let (a64, b64) = (a.to_f64(), b.to_f64());
+        assert_eq!((a * b).to_f64(), a64 * b64); // exact: products fit f32
+        assert_eq!((a + b).to_f64(), a64 + b64);
+        assert_eq!((a - b).to_f64(), a64 - b64);
+        assert_eq!(a.conj().im, 2.25);
+        assert_eq!(a.norm_sq(), 1.5 * 1.5 + 2.25 * 2.25);
+    }
+
+    #[test]
+    fn cis_rounds_once_from_f64() {
+        let z = Cpx32::cis(1.0);
+        assert_eq!(z.re, (1.0f64.cos()) as f32);
+        assert_eq!(z.im, (1.0f64.sin()) as f32);
+        assert!((z.norm_sq() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[allow(unsafe_code)] // layout probe: reads through a raw f32 pointer
+    fn layout_is_interleaved_pairs() {
+        assert_eq!(std::mem::size_of::<Cpx32>(), 8);
+        let v = [Cpx32::new(1.0, 2.0), Cpx32::new(3.0, 4.0)];
+        let base = v.as_ptr() as *const f32;
+        // repr(C): re at offset 0, im at offset 1, per element.
+        unsafe {
+            assert_eq!(*base, 1.0);
+            assert_eq!(*base.add(1), 2.0);
+            assert_eq!(*base.add(3), 4.0);
+        }
+    }
+}

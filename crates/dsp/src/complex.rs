@@ -9,6 +9,10 @@
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + i*im` in double precision.
+///
+/// `#[repr(C)]` so the AVX2 kernels in [`crate::simd`] may reinterpret
+/// `&[Cpx]` as packed `re, im` pairs of `f64`.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Cpx {
     /// Real part.

@@ -1,0 +1,352 @@
+//! Single-precision FFT plans for the f32 fast tier.
+//!
+//! The f32 frame path only ever transforms power-of-two lengths (the range
+//! rFFT runs at `next_pow2(n_fft)`, the Doppler FFT at
+//! `next_pow2(n_chirps)`), always forward, so these plans are deliberately
+//! narrower than [`crate::planner`]: radix-2 only, no Bluestein, no inverse.
+//! Twiddle tables are evaluated exactly in f64 and rounded once to f32
+//! ([`crate::c32::Cpx32::from_f64`]), so table error is one ulp rather than
+//! an accumulated recurrence. The butterfly loops are the `*_32` kernels in
+//! [`crate::simd`] behind the same runtime dispatch as the f64 path.
+//!
+//! There is no cross-tier bit contract here — the f32 tier as a whole is
+//! validated against the f64 oracle by error bounds (see `biscatter-core`'s
+//! precision tests).
+
+use crate::c32::Cpx32;
+use crate::complex::Cpx;
+use crate::fft::is_pow2;
+use crate::simd;
+use crate::TAU;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A forward-only radix-2 plan for one power-of-two length, in f32.
+pub struct FftPlan32 {
+    n: usize,
+    /// `bitrev[i]` = bit-reversed index of `i` (within `log2(n)` bits).
+    bitrev: Vec<u32>,
+    /// Stage-contiguous twiddles, same layout as the f64 planner: stage
+    /// `len` owns the `len/2` entries at offset `len/2 - 2`.
+    stage_tw: Vec<Cpx32>,
+}
+
+impl FftPlan32 {
+    /// Builds a forward plan for power-of-two `n >= 1`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two (the f32 tier has no Bluestein
+    /// fallback; non-power-of-two lengths stay on the f64 path).
+    pub fn new(n: usize) -> FftPlan32 {
+        assert!(
+            n >= 1 && is_pow2(n),
+            "FftPlan32 requires a power-of-two length, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        let mut stage_tw = Vec::with_capacity(n.saturating_sub(2));
+        let mut len = 4;
+        while len <= n {
+            stage_tw.extend(
+                (0..len / 2).map(|j| Cpx32::from_f64(Cpx::cis(-TAU * j as f64 / len as f64))),
+            );
+            len <<= 1;
+        }
+        FftPlan32 {
+            n,
+            bitrev,
+            stage_tw,
+        }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the trivial `n <= 1` plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward DFT (unnormalized). Never allocates.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn process(&self, data: &mut [Cpx32]) {
+        assert_eq!(
+            data.len(),
+            self.n,
+            "plan is for length {}, got {}",
+            self.n,
+            data.len()
+        );
+        let n = self.n;
+        for (i, &rev) in self.bitrev.iter().enumerate() {
+            let j = rev as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        if n < 2 {
+            return;
+        }
+        simd::fft_first_stage_32(data);
+        let mut len = 4;
+        while len <= n {
+            let half = len / 2;
+            simd::fft_stage_32(data, &self.stage_tw[half - 2..half - 2 + half], len);
+            len <<= 1;
+        }
+    }
+}
+
+/// A forward real-input plan for power-of-two `n >= 2`, in f32: packs into
+/// `n/2` complex samples, transforms at half length, unzips into the
+/// `n/2 + 1` half-spectrum bins.
+pub struct RfftPlan32 {
+    n: usize,
+    /// Complex plan of length `n/2`.
+    inner: Rc<FftPlan32>,
+    /// `twiddle[k] = e^{-i 2π k / n}` for `k in 0..=n/2` (f64-exact, rounded
+    /// once).
+    twiddle: Vec<Cpx32>,
+}
+
+impl RfftPlan32 {
+    /// Builds a real-FFT plan for power-of-two `n >= 2`. Prefer
+    /// [`FftPlanner32::rfft_plan`], which caches and shares the inner plan.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `n` is not a power of two.
+    pub fn new(n: usize) -> RfftPlan32 {
+        Self::build(n, |h| Rc::new(FftPlan32::new(h)))
+    }
+
+    fn build(n: usize, inner_plan: impl FnOnce(usize) -> Rc<FftPlan32>) -> RfftPlan32 {
+        assert!(
+            n >= 2 && is_pow2(n),
+            "RfftPlan32 requires a power-of-two n >= 2, got {n}"
+        );
+        let inner = inner_plan(n / 2);
+        let twiddle = (0..=n / 2)
+            .map(|k| Cpx32::from_f64(Cpx::cis(-TAU * k as f64 / n as f64)))
+            .collect();
+        RfftPlan32 { n, inner, twiddle }
+    }
+
+    /// The real input length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: real-FFT plans require `n >= 2`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of half-spectrum bins produced: `n/2 + 1`.
+    pub fn output_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform of `input` (length `n`) into the half-spectrum
+    /// bins `0..=n/2`, written to `out` (cleared and resized). `scratch`
+    /// holds the packed half-length signal; reusing it makes steady-state
+    /// calls allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `input.len()` differs from the planned length.
+    pub fn process_with_scratch(
+        &self,
+        input: &[f32],
+        out: &mut Vec<Cpx32>,
+        scratch: &mut Vec<Cpx32>,
+    ) {
+        assert_eq!(
+            input.len(),
+            self.n,
+            "rfft32 plan is for length {}, got {}",
+            self.n,
+            input.len()
+        );
+        let h = self.n / 2;
+        scratch.clear();
+        scratch.extend((0..h).map(|k| Cpx32::new(input[2 * k], input[2 * k + 1])));
+        self.inner.process(scratch);
+        simd::rfft_unzip_32(scratch, &self.twiddle, h, out);
+    }
+}
+
+/// A per-thread cache of f32 plans keyed by length, mirroring
+/// [`crate::planner::FftPlanner`] for the lengths the f32 tier uses.
+#[derive(Default)]
+pub struct FftPlanner32 {
+    plans: HashMap<usize, Rc<FftPlan32>>,
+    rplans: HashMap<usize, Rc<RfftPlan32>>,
+    /// Complex working buffer for real-input transforms.
+    pack: Vec<Cpx32>,
+    /// Real working buffer lent out by [`FftPlanner32::with_real_scratch`].
+    real_scratch: Vec<f32>,
+}
+
+impl FftPlanner32 {
+    /// An empty planner.
+    pub fn new() -> FftPlanner32 {
+        FftPlanner32::default()
+    }
+
+    /// The cached plan for power-of-two length `n`, building it on first
+    /// use.
+    pub fn plan(&mut self, n: usize) -> Rc<FftPlan32> {
+        if let Some(p) = self.plans.get(&n) {
+            return Rc::clone(p);
+        }
+        let plan = Rc::new(FftPlan32::new(n));
+        self.plans.insert(n, Rc::clone(&plan));
+        plan
+    }
+
+    /// The cached real-FFT plan for power-of-two length `n`, building it on
+    /// first use (its inner half-length plan is shared with
+    /// [`FftPlanner32::plan`]).
+    pub fn rfft_plan(&mut self, n: usize) -> Rc<RfftPlan32> {
+        if let Some(p) = self.rplans.get(&n) {
+            return Rc::clone(p);
+        }
+        let inner = self.plan(n / 2);
+        let plan = Rc::new(RfftPlan32::build(n, |_| inner));
+        self.rplans.insert(n, Rc::clone(&plan));
+        plan
+    }
+
+    /// In-place forward DFT through the cached plan for `data.len()`.
+    pub fn fft_in_place(&mut self, data: &mut [Cpx32]) {
+        let plan = self.plan(data.len());
+        plan.process(data);
+    }
+
+    /// Half spectrum (bins `0..=N/2`) of a real signal, written to `out`
+    /// (cleared and resized; empty input gives empty output).
+    ///
+    /// # Panics
+    /// Panics if `input.len()` is not zero or a power of two.
+    pub fn rfft_half_into(&mut self, input: &[f32], out: &mut Vec<Cpx32>) {
+        let n = input.len();
+        if n == 0 {
+            out.clear();
+            return;
+        }
+        if n == 1 {
+            out.clear();
+            out.push(Cpx32::real(input[0]));
+            return;
+        }
+        let plan = self.rfft_plan(n);
+        let mut pack = std::mem::take(&mut self.pack);
+        plan.process_with_scratch(input, out, &mut pack);
+        self.pack = pack;
+    }
+
+    /// Lends a zeroed f32 buffer of length `len` alongside the planner, so
+    /// callers can window/pack into reusable storage and transform it in one
+    /// scope without allocating per call.
+    pub fn with_real_scratch<R>(
+        &mut self,
+        len: usize,
+        f: impl FnOnce(&mut FftPlanner32, &mut Vec<f32>) -> R,
+    ) -> R {
+        let mut buf = std::mem::take(&mut self.real_scratch);
+        buf.clear();
+        buf.resize(len, 0.0);
+        let r = f(self, &mut buf);
+        self.real_scratch = buf;
+        r
+    }
+}
+
+thread_local! {
+    static PLANNER32: RefCell<FftPlanner32> = RefCell::new(FftPlanner32::new());
+}
+
+/// Runs `f` with this thread's f32 planner (a separate cache from the f64
+/// [`crate::planner::with_planner`], so the two tiers never interleave
+/// borrows).
+///
+/// # Panics
+/// Panics if called re-entrantly from within `f`.
+pub fn with_planner32<R>(f: impl FnOnce(&mut FftPlanner32) -> R) -> R {
+    PLANNER32.with(|p| f(&mut p.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::FftPlanner;
+
+    fn real_vec(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 100) as f64 / 50.0 - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn fft32_tracks_f64_plan() {
+        let mut p64 = FftPlanner::new();
+        for &n in &[1usize, 2, 4, 64, 512] {
+            let x = real_vec(n);
+            let mut want: Vec<Cpx> = x.iter().map(|&v| Cpx::real(v)).collect();
+            p64.fft_in_place(&mut want);
+            let mut got: Vec<Cpx32> = x.iter().map(|&v| Cpx32::new(v as f32, 0.0)).collect();
+            FftPlan32::new(n).process(&mut got);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                let err = (g.to_f64() - *w).abs();
+                assert!(err < 2e-4 * n as f64, "n={n} bin {k}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft32_tracks_f64_plan() {
+        let mut p64 = FftPlanner::new();
+        let mut p32 = FftPlanner32::new();
+        for &n in &[2usize, 8, 256, 1024] {
+            let x = real_vec(n);
+            let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            let mut want = Vec::new();
+            p64.rfft_half_into(&x, &mut want);
+            let mut got = Vec::new();
+            p32.rfft_half_into(&x32, &mut got);
+            assert_eq!(got.len(), want.len());
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                let err = (g.to_f64() - *w).abs();
+                assert!(err < 2e-4 * n as f64, "n={n} bin {k}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn planner32_caches_and_reuses() {
+        let mut p = FftPlanner32::new();
+        let a = p.plan(128);
+        let b = p.plan(128);
+        assert!(Rc::ptr_eq(&a, &b));
+        let r = p.rfft_plan(1024);
+        assert_eq!(r.output_len(), 513);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn fft32_rejects_non_pow2() {
+        let _ = FftPlan32::new(100);
+    }
+}

@@ -18,8 +18,12 @@
 //! |---|---|
 //! | [`arena`] | reusable buffer pools (`Pool`/`Lease`) for the zero-allocation frame path |
 //! | [`complex`] | `Cpx` complex number type and arithmetic |
+//! | [`c32`] | `Cpx32` single-precision complex type for the f32 fast tier |
+//! | [`dispatch`] | runtime SIMD tier selection (`BISCATTER_SIMD`, CPU detection) |
+//! | [`simd`] | scalar/AVX2 kernel bodies for the frame hot loops |
 //! | [`fft`] | radix-2 Cooley–Tukey and Bluestein FFT/IFFT, real-input helper |
 //! | [`planner`] | cached FFT plans, in-place/scratch APIs, packed real FFT |
+//! | [`fft32`] | f32 forward-only radix-2 plans for the fast tier |
 //! | [`window`] | Hann, Hamming, Blackman(-Harris), Kaiser, flat-top windows |
 //! | [`goertzel`] | single-bin DFT evaluation, sliding Goertzel, filter banks |
 //! | [`filter`] | windowed-sinc FIR design, biquad IIR, RC single-pole, moving average |
@@ -28,24 +32,37 @@
 //! | [`stft`] | short-time Fourier transform / spectrogram |
 //! | [`stats`] | mean/variance, dB conversions, erfc/Q-function, theoretical BER |
 //! | [`signal`] | tone/chirp/square synthesis, AWGN, utility generators |
+//!
+//! ## Unsafe policy
+//!
+//! The crate is `deny(unsafe_code)`; the single exemption is [`simd`],
+//! whose AVX2 bodies require `std::arch` intrinsics. Every `unsafe` there
+//! sits behind runtime feature detection ([`dispatch`]).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod c32;
 pub mod complex;
+pub mod dispatch;
 pub mod fft;
+pub mod fft32;
 pub mod filter;
 pub mod goertzel;
 pub mod planner;
 pub mod resample;
 pub mod signal;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod spectrum;
 pub mod stats;
 pub mod stft;
 pub mod window;
 
+pub use c32::Cpx32;
 pub use complex::Cpx;
+pub use dispatch::SimdTier;
 
 /// Speed of light in vacuum, metres per second.
 pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;

@@ -35,6 +35,7 @@
 
 use crate::complex::Cpx;
 use crate::fft::{is_pow2, next_pow2};
+use crate::simd;
 use crate::TAU;
 use biscatter_obs::metrics::Counter;
 use std::cell::RefCell;
@@ -89,9 +90,14 @@ enum PlanKind {
     Radix2 {
         /// `bitrev[i]` = bit-reversed index of `i` (within `log2(n)` bits).
         bitrev: Vec<u32>,
-        /// `twiddle[j] = e^{-i 2π j / n}` for `j in 0..n/2`. Stage `len`
-        /// uses stride `n / len`; the inverse conjugates on the fly.
-        twiddle: Vec<Cpx>,
+        /// Stage-contiguous twiddles: for each stage `len = 4, 8, .., n`
+        /// the `len/2` factors `e^{-i 2π j / len}` are stored back to back
+        /// (offset `len/2 - 2`, total `n - 2` entries), so every stage
+        /// reads a dense slice the vector kernels can load directly —
+        /// no strided gather. Entries are bit-identical to the classic
+        /// strided table (`j/len` and `(j·stride)/n` round identically);
+        /// the inverse conjugates on the fly.
+        stage_tw: Vec<Cpx>,
     },
     /// Bluestein chirp-z: DFT as circular convolution at length `m`.
     Bluestein {
@@ -127,12 +133,15 @@ impl FftPlan {
             let bitrev = (0..n as u32)
                 .map(|i| i.reverse_bits() >> (32 - bits))
                 .collect();
-            let twiddle = (0..n / 2)
-                .map(|j| Cpx::cis(-TAU * j as f64 / n as f64))
-                .collect();
+            let mut stage_tw = Vec::with_capacity(n.saturating_sub(2));
+            let mut len = 4;
+            while len <= n {
+                stage_tw.extend((0..len / 2).map(|j| Cpx::cis(-TAU * j as f64 / len as f64)));
+                len <<= 1;
+            }
             return FftPlan {
                 n,
-                kind: PlanKind::Radix2 { bitrev, twiddle },
+                kind: PlanKind::Radix2 { bitrev, stage_tw },
             };
         }
 
@@ -206,7 +215,7 @@ impl FftPlan {
         );
         match &self.kind {
             PlanKind::Trivial => {}
-            PlanKind::Radix2 { bitrev, twiddle } => radix2(data, bitrev, twiddle, false),
+            PlanKind::Radix2 { bitrev, stage_tw } => radix2(data, bitrev, stage_tw, false),
             PlanKind::Bluestein {
                 m,
                 chirp,
@@ -215,17 +224,11 @@ impl FftPlan {
             } => {
                 scratch.clear();
                 scratch.resize(*m, Cpx::ZERO);
-                for k in 0..self.n {
-                    scratch[k] = data[k] * chirp[k];
-                }
+                simd::cmul_into(&mut scratch[..self.n], data, chirp);
                 inner.process(scratch);
-                for (s, &b) in scratch.iter_mut().zip(kernel_spec) {
-                    *s *= b;
-                }
+                simd::cmul_assign(scratch, kernel_spec);
                 inner.process_inverse(scratch);
-                for k in 0..self.n {
-                    data[k] = scratch[k] * chirp[k];
-                }
+                simd::cmul_into(data, &scratch[..self.n], chirp);
             }
         }
     }
@@ -241,8 +244,8 @@ impl FftPlan {
         );
         match &self.kind {
             PlanKind::Trivial => {}
-            PlanKind::Radix2 { bitrev, twiddle } => {
-                radix2(data, bitrev, twiddle, true);
+            PlanKind::Radix2 { bitrev, stage_tw } => {
+                radix2(data, bitrev, stage_tw, true);
                 let s = 1.0 / self.n as f64;
                 for z in data.iter_mut() {
                     *z = z.scale(s);
@@ -267,8 +270,10 @@ impl FftPlan {
 /// Radix-2 butterflies over precomputed tables. Each twiddle is an exact
 /// table entry (conjugated for the inverse), so there is no dependence chain
 /// between butterflies and no accumulated phase drift — unlike the
-/// incremental `w *= wlen` recurrence in [`crate::fft::reference`].
-fn radix2(data: &mut [Cpx], bitrev: &[u32], twiddle: &[Cpx], inverse: bool) {
+/// incremental `w *= wlen` recurrence in [`crate::fft::reference`]. The
+/// per-stage loops live in [`crate::simd`] behind runtime dispatch; both
+/// tiers produce bit-identical f64 results.
+fn radix2(data: &mut [Cpx], bitrev: &[u32], stage_tw: &[Cpx], inverse: bool) {
     let n = data.len();
     for (i, &rev) in bitrev.iter().enumerate() {
         let j = rev as usize;
@@ -281,26 +286,11 @@ fn radix2(data: &mut [Cpx], bitrev: &[u32], twiddle: &[Cpx], inverse: bool) {
     }
     // First stage: every twiddle is 1, so the butterflies are pure
     // add/subtract pairs — no table reads, no complex multiplies.
-    for pair in data.chunks_exact_mut(2) {
-        let (u, v) = (pair[0], pair[1]);
-        pair[0] = u + v;
-        pair[1] = u - v;
-    }
+    simd::fft_first_stage(data);
     let mut len = 4;
     while len <= n {
         let half = len / 2;
-        let stride = n / len;
-        for chunk in data.chunks_exact_mut(len) {
-            let (lo, hi) = chunk.split_at_mut(half);
-            let tw = twiddle.iter().step_by(stride);
-            for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
-                let w = if inverse { w.conj() } else { w };
-                let u = *a;
-                let v = *b * w;
-                *a = u + v;
-                *b = u - v;
-            }
-        }
+        simd::fft_stage(data, &stage_tw[half - 2..half - 2 + half], len, inverse);
         len <<= 1;
     }
 }
@@ -382,16 +372,9 @@ impl RfftPlan {
         //   E[k] = (Z[k] + conj(Z[h-k])) / 2
         //   O[k] = (Z[k] - conj(Z[h-k])) / 2i
         //   X[k] = E[k] + e^{-i 2π k / n} · O[k]
-        // (indices mod h, so Z[h] wraps to Z[0]).
-        out.clear();
-        out.reserve(h + 1);
-        for k in 0..=h {
-            let zk = scratch[k % h];
-            let zs = scratch[(h - k) % h].conj();
-            let e = (zk + zs).scale(0.5);
-            let o = (zk - zs) * Cpx::new(0.0, -0.5);
-            out.push(e + self.twiddle[k] * o);
-        }
+        // (indices mod h, so Z[h] wraps to Z[0]). The loop lives in
+        // [`crate::simd`] behind runtime dispatch.
+        simd::rfft_unzip(scratch, &self.twiddle, h, out);
     }
 }
 

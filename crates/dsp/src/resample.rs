@@ -95,6 +95,62 @@ pub fn resample_to_grid_cpx_into(
     }
 }
 
+/// Single-precision variant of [`resample_to_grid_cpx_into`] for the f32
+/// frame tier: grids stay in f64 (geometry is always double precision), the
+/// profile values are [`crate::c32::Cpx32`], and the interpolation weight
+/// `t` is computed in f64 then applied in f32.
+///
+/// Instead of a per-point binary search this uses a monotone two-pointer
+/// sweep — destination grids in the IF-correction stage are increasing, so
+/// the bracketing index only ever moves forward and the whole resample is
+/// `O(n_src + n_dst)` rather than `O(n_dst · log n_src)`. Non-monotone
+/// destinations still work (the pointer backs up), they just lose the
+/// linear-time guarantee.
+///
+/// # Panics
+/// Panics if `src_grid` and `values` lengths differ.
+pub fn resample_to_grid_cpx32_into(
+    src_grid: &[f64],
+    values: &[crate::c32::Cpx32],
+    dst_grid: &[f64],
+    out: &mut Vec<crate::c32::Cpx32>,
+) {
+    use crate::c32::Cpx32;
+    assert_eq!(src_grid.len(), values.len(), "grid/value length mismatch");
+    out.clear();
+    out.reserve(dst_grid.len());
+    if src_grid.is_empty() {
+        out.resize(dst_grid.len(), Cpx32::ZERO);
+        return;
+    }
+    let n = src_grid.len();
+    // `i` tracks the smallest index with `src_grid[i] >= x` — the same
+    // bracketing a binary search would find on a strictly increasing grid.
+    let mut i = 0usize;
+    for &x in dst_grid {
+        while i > 0 && src_grid[i - 1] >= x {
+            i -= 1;
+        }
+        while i < n && src_grid[i] < x {
+            i += 1;
+        }
+        let v = if i == 0 {
+            values[0]
+        } else if i >= n {
+            values[n - 1]
+        } else if src_grid[i] == x {
+            values[i]
+        } else {
+            let x0 = src_grid[i - 1];
+            let x1 = src_grid[i];
+            let t = ((x - x0) / (x1 - x0)) as f32;
+            let (a, b) = (values[i - 1], values[i]);
+            Cpx32::new(a.re * (1.0 - t) + b.re * t, a.im * (1.0 - t) + b.im * t)
+        };
+        out.push(v);
+    }
+}
+
 /// Builds a uniform grid of `n` points spanning `[start, stop]` inclusive.
 pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
     match n {

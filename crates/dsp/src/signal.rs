@@ -70,6 +70,7 @@ impl NoiseSource {
     }
 
     /// Next raw u64 from xorshift64*.
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
@@ -80,6 +81,7 @@ impl NoiseSource {
     }
 
     /// Uniform sample in `(0, 1)` (never exactly 0, safe for `ln`).
+    #[inline]
     pub fn uniform(&mut self) -> f64 {
         ((self.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64
     }
@@ -114,6 +116,92 @@ impl NoiseSource {
         for s in signal.iter_mut() {
             *s += self.gaussian() * sigma;
         }
+    }
+
+    /// f32 variant of [`NoiseSource::add_awgn`] that draws the *identical*
+    /// f64 Gaussian sequence (same generator state consumption, so f64 and
+    /// f32 slabs with the same seed see the same noise realization) and adds
+    /// each deviate rounded to f32. This is the kernel-test reference; the
+    /// frame-rate f32 tier uses [`NoiseSource::add_awgn_f32_fast`] instead.
+    pub fn add_awgn_f32(&mut self, signal: &mut [f32], sigma: f64) {
+        for s in signal.iter_mut() {
+            *s += (self.gaussian() * sigma) as f32;
+        }
+    }
+
+    /// Fast standard normal sample: one uniform draw mapped through the
+    /// inverse normal CDF (no `ln`/`sin`/`cos` on the ~97.6% central path).
+    ///
+    /// Consumes generator state differently from [`NoiseSource::gaussian`]
+    /// (one `u64` per deviate, no cached second deviate), so the realization
+    /// differs from Box–Muller for the same seed — but it is exactly as
+    /// deterministic: same seed, same sequence, on every dispatch tier.
+    #[inline]
+    pub fn gaussian_fast(&mut self) -> f64 {
+        inv_norm_cdf(self.uniform())
+    }
+
+    /// Fast AWGN for the f32 frame tier: [`NoiseSource::gaussian_fast`]
+    /// deviates rounded once to f32. Roughly 4x cheaper per sample than the
+    /// Box–Muller path, which otherwise dominates the f32 dechirp stage.
+    pub fn add_awgn_f32_fast(&mut self, signal: &mut [f32], sigma: f64) {
+        for s in signal.iter_mut() {
+            *s += (self.gaussian_fast() * sigma) as f32;
+        }
+    }
+}
+
+/// Inverse of the standard normal CDF via Acklam's rational approximation
+/// (|relative error| < 1.15e-9 over the open unit interval — far below the
+/// f32 rounding the fast tier applies afterwards). The central region is
+/// two degree-5 polynomials and one division; only the ~2.4% tail mass pays
+/// for `ln`/`sqrt`.
+#[inline]
+fn inv_norm_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
     }
 }
 
@@ -248,6 +336,51 @@ mod tests {
         let p_noise = rms(&noise).powi(2);
         let snr_db = 10.0 * (p_sig / p_noise).log10();
         assert!((snr_db - target_db).abs() < 0.2, "snr {snr_db}");
+    }
+
+    #[test]
+    fn gaussian_fast_moments() {
+        let mut src = NoiseSource::new(17);
+        let x: Vec<f64> = (0..200_000).map(|_| src.gaussian_fast()).collect();
+        assert!(mean(&x).abs() < 0.01, "mean {}", mean(&x));
+        assert!((std_dev(&x) - 1.0).abs() < 0.01, "std {}", std_dev(&x));
+    }
+
+    #[test]
+    fn gaussian_fast_is_reproducible() {
+        let mut a = NoiseSource::new(23);
+        let mut b = NoiseSource::new(23);
+        for _ in 0..1000 {
+            assert_eq!(a.gaussian_fast(), b.gaussian_fast());
+        }
+    }
+
+    #[test]
+    fn inv_norm_cdf_matches_known_quantiles() {
+        // Central branch, both tail branches.
+        for (p, z) in [
+            (0.5, 0.0),
+            (0.8413447460685429, 1.0),
+            (0.15865525393145707, -1.0),
+            (0.0013498980316300933, -3.0),
+            (0.9986501019683699, 3.0),
+        ] {
+            assert!(
+                (inv_norm_cdf(p) - z).abs() < 1e-7,
+                "quantile({p}) = {} want {z}",
+                inv_norm_cdf(p)
+            );
+        }
+    }
+
+    #[test]
+    fn add_awgn_f32_fast_statistics() {
+        let mut src = NoiseSource::new(29);
+        let mut x = vec![0.0f32; 100_000];
+        src.add_awgn_f32_fast(&mut x, 0.5);
+        let wide: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        assert!(mean(&wide).abs() < 0.01);
+        assert!((std_dev(&wide) - 0.5).abs() < 0.01);
     }
 
     #[test]

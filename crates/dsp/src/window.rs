@@ -89,6 +89,10 @@ impl WindowKind {
 pub struct CachedWindow {
     /// The window coefficients (length as requested).
     pub coeffs: Vec<f64>,
+    /// The same coefficients rounded to f32 once, for the f32 frame tier
+    /// (windowing happens per sample, so the fast path must not convert on
+    /// the fly).
+    pub coeffs_f32: Vec<f32>,
     /// Mean of the coefficients (see [`WindowKind::coherent_gain`]).
     pub coherent_gain: f64,
 }
@@ -96,6 +100,7 @@ pub struct CachedWindow {
 impl CachedWindow {
     fn new(kind: WindowKind, n: usize) -> CachedWindow {
         let coeffs = kind.coefficients(n);
+        let coeffs_f32 = coeffs.iter().map(|&c| c as f32).collect();
         let coherent_gain = if n == 0 {
             1.0
         } else {
@@ -103,6 +108,7 @@ impl CachedWindow {
         };
         CachedWindow {
             coeffs,
+            coeffs_f32,
             coherent_gain,
         }
     }

@@ -114,11 +114,40 @@ pub struct Fleet {
 
 impl Fleet {
     /// Builds `cfg.n_cells` cells over `sys`, scoped `cell0.` .. `cellN-1.`.
+    /// Every cell inherits `cfg.cell` — including its numeric
+    /// [`precision`](RuntimeConfig::precision) tier; use
+    /// [`Fleet::with_cell_tiers`] to mix tiers across cells.
     pub fn new(sys: BiScatterSystem, cfg: FleetConfig) -> Self {
+        Self::build(sys, cfg, |_| None)
+    }
+
+    /// [`Fleet::new`] with a per-cell precision override: cell `i` runs on
+    /// `tiers[i]` where given, falling back to `cfg.cell.precision` past the
+    /// end of the slice. Lets a fleet keep latency-critical cells on the f32
+    /// fast tier while reference cells stay on the f64 oracle.
+    pub fn with_cell_tiers(
+        sys: BiScatterSystem,
+        cfg: FleetConfig,
+        tiers: &[biscatter_runtime::PrecisionTier],
+    ) -> Self {
+        Self::build(sys, cfg, |i| tiers.get(i).copied())
+    }
+
+    fn build(
+        sys: BiScatterSystem,
+        cfg: FleetConfig,
+        tier_for: impl Fn(usize) -> Option<biscatter_runtime::PrecisionTier>,
+    ) -> Self {
         assert!(cfg.n_cells > 0, "fleet needs at least one cell");
         assert!(cfg.shards > 0, "fleet needs at least one shard");
         let cells = (0..cfg.n_cells)
-            .map(|i| Cell::new(i, sys.clone(), cfg.cell))
+            .map(|i| {
+                let mut cell_cfg = cfg.cell;
+                if let Some(t) = tier_for(i) {
+                    cell_cfg.precision = t;
+                }
+                Cell::new(i, sys.clone(), cell_cfg)
+            })
             .collect();
         Fleet { sys, cfg, cells }
     }

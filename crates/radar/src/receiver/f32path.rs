@@ -1,0 +1,335 @@
+//! The single-precision mirror of the align stage (steps 2–4) for the f32
+//! fast tier.
+//!
+//! [`align_frame_into_f32`] reproduces [`super::align_frame_into`] structure
+//! for structure — per-chirp range rFFT, IF correction onto the common grid,
+//! optional background subtraction — with the bulk per-sample arithmetic in
+//! f32. Geometry stays in f64: bin ranges, the common range grid, and the
+//! interpolation parameter are all computed in double precision and only the
+//! complex profile values are single precision, so the f32 tier loses
+//! accuracy exactly once per sample rather than compounding grid error.
+//!
+//! There is no bit contract between this path and the f64 one; the f32 tier
+//! is validated against the f64 oracle by error bounds (see the tests here
+//! and `biscatter-core`'s precision suite).
+
+use super::if_correction::bin_ranges_into;
+use super::RxConfig;
+use biscatter_compute::ComputePool;
+use biscatter_dsp::c32::Cpx32;
+use biscatter_dsp::fft::next_pow2;
+use biscatter_dsp::fft32::with_planner32;
+use biscatter_dsp::resample::resample_to_grid_cpx32_into;
+use biscatter_dsp::window::WindowKind;
+use biscatter_rf::chirp::Chirp;
+use biscatter_rf::frame::ChirpTrain;
+use biscatter_rf::slab::SampleSlab32;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A frame of per-chirp single-precision range profiles on the common grid.
+///
+/// Mirrors [`super::AlignedFrame`]; the range grid is still f64 (geometry)
+/// and shared by `Arc` with downstream products.
+#[derive(Debug, Clone)]
+pub struct AlignedFrame32 {
+    /// `profiles[chirp][range_bin]`, complex, single precision.
+    pub profiles: Vec<Vec<Cpx32>>,
+    /// The common range grid, metres (f64: geometry never drops precision).
+    pub range_grid: Arc<[f64]>,
+    /// Chirp slot period, s.
+    pub t_period: f64,
+}
+
+impl Default for AlignedFrame32 {
+    fn default() -> Self {
+        AlignedFrame32 {
+            profiles: Vec::new(),
+            range_grid: Vec::new().into(),
+            t_period: 0.0,
+        }
+    }
+}
+
+impl AlignedFrame32 {
+    /// Number of chirps (slow-time length).
+    pub fn n_chirps(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Slow-time sample rate = chirp rate, Hz.
+    pub fn chirp_rate(&self) -> f64 {
+        1.0 / self.t_period
+    }
+}
+
+/// [`super::range_profile::complex_profile_into`] in single precision:
+/// Hann-windowed, zero-padded rFFT of one chirp's IF samples, normalized by
+/// sample count and coherent gain. The window coefficients come from the
+/// shared cache's pre-converted f32 table and the transform runs the f32
+/// planner, so steady-state calls allocate nothing.
+pub fn complex_profile_into_32(if_samples: &[f32], n_fft: usize, out: &mut Vec<Cpx32>) {
+    let n = if_samples.len();
+    let n_fft = next_pow2(n_fft.max(n));
+    if n == 0 {
+        out.clear();
+        out.resize(n_fft / 2 + 1, Cpx32::ZERO);
+        return;
+    }
+    let win = WindowKind::Hann.cached(n);
+    // The norm is evaluated in f64 (like the oracle) and rounded once.
+    let norm = (1.0 / (n as f64 * win.coherent_gain)) as f32;
+    with_planner32(|p| {
+        p.with_real_scratch(n_fft, |p, buf| {
+            for ((b, &s), &w) in buf.iter_mut().zip(if_samples).zip(&win.coeffs_f32) {
+                *b = s * w;
+            }
+            p.rfft_half_into(buf, out);
+            for z in out.iter_mut() {
+                *z = z.scale(norm);
+            }
+        })
+    });
+}
+
+thread_local! {
+    /// Per-thread scratch for the source bin-range axis (f64 geometry),
+    /// mirroring the f64 path's private scratch in `if_correction`.
+    static BIN_RANGES32: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread half-spectrum scratch shared by every chirp a worker
+    /// aligns.
+    static SPECTRUM32: RefCell<Vec<Cpx32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// [`super::if_correction::to_range_grid_into`] with f32 profile values:
+/// bin ranges are computed per chirp in f64, then the complex profile is
+/// linearly resampled onto `grid` with the interpolation weight computed in
+/// f64 and applied in f32.
+pub fn to_range_grid_into_32(
+    profile: &[Cpx32],
+    chirp: &Chirp,
+    fs: f64,
+    n_fft: usize,
+    grid: &[f64],
+    out: &mut Vec<Cpx32>,
+) {
+    BIN_RANGES32.with(|src| {
+        let mut src = src.borrow_mut();
+        bin_ranges_into(chirp, fs, n_fft, profile.len(), &mut src);
+        resample_to_grid_cpx32_into(&src, profile, grid, out);
+    });
+}
+
+/// [`align_frame_into_f32`] on the global compute pool, allocating the frame.
+pub fn align_frame_f32(
+    cfg: &RxConfig,
+    train: &ChirpTrain,
+    if_per_chirp: &SampleSlab32,
+) -> AlignedFrame32 {
+    let mut out = AlignedFrame32::default();
+    align_frame_into_f32(ComputePool::global(), cfg, train, if_per_chirp, &mut out);
+    out
+}
+
+/// Steps 2–4 in single precision: per-chirp range rFFT, IF correction onto
+/// the common grid, optional background subtraction. Chirps fan out across
+/// `pool` exactly like the f64 path; the grid `Arc` and profile vectors are
+/// reused across calls so repeated frames allocate nothing in steady state.
+pub fn align_frame_into_f32(
+    pool: &ComputePool,
+    cfg: &RxConfig,
+    train: &ChirpTrain,
+    if_per_chirp: &SampleSlab32,
+    out: &mut AlignedFrame32,
+) {
+    assert_eq!(
+        train.len(),
+        if_per_chirp.rows(),
+        "one IF capture per chirp required"
+    );
+    // Same grid-reuse replay as the f64 path: a linspace grid is fully
+    // determined by (first, last, len).
+    let expected_last = if cfg.n_range_bins > 1 {
+        let step = cfg.max_range_m / (cfg.n_range_bins - 1) as f64;
+        step * (cfg.n_range_bins - 1) as f64
+    } else {
+        0.0
+    };
+    let reusable = cfg.n_range_bins > 0
+        && out.range_grid.len() == cfg.n_range_bins
+        && out.range_grid.first() == Some(&0.0)
+        && out.range_grid.last() == Some(&expected_last);
+    if !reusable {
+        out.range_grid = cfg.range_grid().into();
+    }
+    out.profiles.resize_with(train.len(), Vec::new);
+
+    let grid: &[f64] = &out.range_grid;
+    let slots = train.slots();
+    pool.par_chunks(&mut out.profiles, 1, |c, row| {
+        let samples = if_per_chirp.row(c);
+        SPECTRUM32.with(|spec| {
+            let mut spectrum = spec.borrow_mut();
+            complex_profile_into_32(samples, cfg.n_fft, &mut spectrum);
+            let profile = &mut row[0];
+            if cfg.if_correction {
+                to_range_grid_into_32(
+                    &spectrum,
+                    &slots[c].chirp,
+                    cfg.if_sample_rate,
+                    cfg.n_fft,
+                    grid,
+                    profile,
+                );
+            } else {
+                profile.clear();
+                profile.extend(spectrum.iter().take(grid.len()));
+                profile.resize(grid.len(), Cpx32::ZERO);
+            }
+        });
+    });
+
+    if cfg.background_subtraction && !out.profiles.is_empty() {
+        let (first, rest) = out.profiles.split_at_mut(1);
+        let reference = &first[0];
+        for p in rest.iter_mut() {
+            for (v, r) in p.iter_mut().zip(reference.iter()) {
+                *v -= *r;
+            }
+        }
+        #[allow(clippy::eq_op)]
+        for v in first[0].iter_mut() {
+            let x = *v;
+            *v = x - x;
+        }
+    }
+
+    out.t_period = train.slots().first().map_or(0.0, |s| s.period());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::doppler::{range_doppler_into, range_doppler_into_f32, RangeDopplerMap};
+    use crate::receiver::{align_frame_into, AlignedFrame};
+    use biscatter_dsp::signal::NoiseSource;
+    use biscatter_rf::if_gen::IfReceiver;
+    use biscatter_rf::scene::{Scatterer, Scene};
+    use biscatter_rf::slab::SampleSlab;
+
+    fn test_scene(f_mod: f64) -> Scene {
+        Scene::new()
+            .with(Scatterer::clutter(2.0, 5.0))
+            .with(Scatterer::clutter(6.5, 3.0))
+            .with(Scatterer::tag(4.87, 1.0, f_mod))
+    }
+
+    /// Runs the f64 and f32 chains on the same noiseless scene and returns
+    /// both range–Doppler maps. Noiseless because the f32 tier draws its
+    /// own (fast, seeded) noise realization — the per-cell comparison here
+    /// isolates pure kernel rounding; noisy-frame agreement is validated
+    /// statistically at the frame level in `core`.
+    fn run_both(n_chirps: usize, seed: u64) -> (RangeDopplerMap, RangeDopplerMap) {
+        let f_mod = 16.0 / (n_chirps as f64 * 120e-6);
+        let scene = test_scene(f_mod);
+        let chirps = vec![Chirp::new(9e9, 1e9, 96e-6); n_chirps];
+        let train = ChirpTrain::with_fixed_period(&chirps, 120e-6).unwrap();
+        let rx = IfReceiver {
+            sample_rate_hz: 10e6,
+            noise_sigma: 0.0,
+        };
+        let pool = ComputePool::global();
+        let cfg = RxConfig::default();
+
+        let mut slab64 = SampleSlab::new();
+        let mut n64 = NoiseSource::new(seed);
+        rx.dechirp_train_into(pool, &train, &scene, 0.0, &mut n64, &mut slab64);
+        let mut frame64 = AlignedFrame::default();
+        align_frame_into(pool, &cfg, &train, &slab64, &mut frame64);
+        let mut map64 = RangeDopplerMap::default();
+        range_doppler_into(pool, &frame64, &mut map64);
+
+        let mut slab32 = SampleSlab32::new();
+        let mut n32 = NoiseSource::new(seed);
+        rx.dechirp_train_into_f32(pool, &train, &scene, 0.0, &mut n32, &mut slab32);
+        let mut frame32 = AlignedFrame32::default();
+        align_frame_into_f32(pool, &cfg, &train, &slab32, &mut frame32);
+        let mut map32 = RangeDopplerMap::default();
+        range_doppler_into_f32(pool, &frame32, &mut map32);
+
+        (map64, map32)
+    }
+
+    #[test]
+    fn f32_map_tracks_f64_oracle() {
+        let (map64, map32) = run_both(64, 7);
+        assert_eq!(map32.n_doppler, map64.n_doppler);
+        assert_eq!(map32.n_range(), map64.n_range());
+        // Significant cells (above a floor tied to the map's peak) must agree
+        // to small relative error; tiny cells are dominated by f32 rounding
+        // of near-cancelling sums and only need absolute agreement.
+        let peak = (0..map64.n_doppler)
+            .flat_map(|d| map64.range_slice(d).iter().copied().collect::<Vec<_>>())
+            .fold(0.0f64, f64::max);
+        let floor = peak * 1e-6;
+        let mut checked = 0usize;
+        for d in 0..map64.n_doppler {
+            for r in 0..map64.n_range() {
+                let (a, b) = (map64.at(d, r), map32.at(d, r));
+                if a > floor {
+                    let rel = (a - b).abs() / a;
+                    assert!(rel < 2e-2, "cell ({d},{r}): {a} vs {b}, rel {rel}");
+                    checked += 1;
+                } else {
+                    assert!((a - b).abs() <= floor, "tiny cell ({d},{r}): {a} vs {b}");
+                }
+            }
+        }
+        assert!(checked > 100, "too few significant cells: {checked}");
+    }
+
+    #[test]
+    fn f32_signature_peak_matches_f64_bin() {
+        let n_chirps = 64;
+        let f_mod = 16.0 / (n_chirps as f64 * 120e-6);
+        let (map64, map32) = run_both(n_chirps, 8);
+        let mut s64 = Vec::new();
+        let mut s32 = Vec::new();
+        crate::receiver::localize::signature_score_into(&map64, f_mod, &mut s64);
+        crate::receiver::localize::signature_score_into(&map32, f_mod, &mut s32);
+        let argmax = |s: &[f64]| {
+            s.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(argmax(&s64), argmax(&s32), "signature peaks disagree");
+    }
+
+    #[test]
+    fn uncorrected_path_mirrors_f64_shape() {
+        let cfg = RxConfig {
+            if_correction: false,
+            background_subtraction: false,
+            ..RxConfig::default()
+        };
+        let chirps = vec![Chirp::new(9e9, 1e9, 96e-6); 8];
+        let train = ChirpTrain::with_fixed_period(&chirps, 120e-6).unwrap();
+        let rx = IfReceiver {
+            sample_rate_hz: 10e6,
+            noise_sigma: 0.0,
+        };
+        let scene = Scene::new().with(Scatterer::clutter(3.0, 1.0));
+        let pool = ComputePool::global();
+        let mut slab = SampleSlab32::new();
+        let mut noise = NoiseSource::new(1);
+        rx.dechirp_train_into_f32(pool, &train, &scene, 0.0, &mut noise, &mut slab);
+        let frame = align_frame_f32(&cfg, &train, &slab);
+        assert_eq!(frame.n_chirps(), 8);
+        for p in &frame.profiles {
+            assert_eq!(p.len(), cfg.n_range_bins);
+        }
+        assert!((frame.chirp_rate() - 1.0 / 120e-6).abs() < 1e-6);
+    }
+}

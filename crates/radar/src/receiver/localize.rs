@@ -33,16 +33,6 @@ pub struct TagLocation {
     pub snr_db: f64,
 }
 
-/// Matched-filter score across ranges for a tag at modulation frequency
-/// `f_mod`: sums the map's power at the fundamental and the 3rd and 5th odd
-/// harmonics (weights 1, 1/9, 1/25 — the squared Fourier coefficients of a
-/// square wave).
-pub fn signature_score(map: &RangeDopplerMap, f_mod_hz: f64) -> Vec<f64> {
-    let mut score = Vec::new();
-    signature_score_into(map, f_mod_hz, &mut score);
-    score
-}
-
 thread_local! {
     /// Per-thread banded-slice scratch shared by every harmonic of every
     /// call, so scoring allocates nothing in steady state.
@@ -51,9 +41,14 @@ thread_local! {
     static SCORE: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
-/// [`signature_score`] into a caller-owned buffer (cleared and resized).
-/// The banded Doppler slice for each harmonic goes through a per-thread
-/// scratch vector, so repeated calls allocate nothing once warm.
+/// Matched-filter score across ranges for a tag at modulation frequency
+/// `f_mod`, written into a caller-owned buffer (cleared and resized): sums
+/// the map's power at the fundamental and the 3rd and 5th odd harmonics
+/// (weights 1, 1/9, 1/25 — the squared Fourier coefficients of a square
+/// wave). The banded Doppler slice for each harmonic goes through a
+/// per-thread scratch vector, so repeated calls allocate nothing once warm;
+/// the weighted accumulation is `biscatter_dsp::simd::axpy` behind runtime
+/// dispatch (bit-identical across tiers).
 pub fn signature_score_into(map: &RangeDopplerMap, f_mod_hz: f64, score: &mut Vec<f64>) {
     let n_range = map.range_grid.len();
     score.clear();
@@ -68,9 +63,7 @@ pub fn signature_score_into(map: &RangeDopplerMap, f_mod_hz: f64, score: &mut Ve
             }
             let bin = map.bin_for_freq(f);
             map.range_slice_banded_into(bin, 1, &mut band);
-            for (s, &p) in score.iter_mut().zip(band.iter()) {
-                *s += w * p;
-            }
+            biscatter_dsp::simd::axpy(score, w, &band);
         }
     });
 }
@@ -122,6 +115,16 @@ pub(crate) fn location_from(
 mod tests {
     use super::*;
     use crate::receiver::doppler::range_doppler;
+
+    /// Test-only allocating shim over [`signature_score_into`]. The
+    /// production paths all use the `_into` variant with pooled buffers;
+    /// this exists so assertions can hold an owned score vector.
+    fn signature_score(map: &RangeDopplerMap, f_mod_hz: f64) -> Vec<f64> {
+        let mut score = Vec::new();
+        signature_score_into(map, f_mod_hz, &mut score);
+        score
+    }
+
     use crate::receiver::{align_frame, RxConfig};
     use biscatter_dsp::signal::NoiseSource;
     use biscatter_rf::chirp::Chirp;

@@ -21,6 +21,7 @@
 
 pub mod aoa;
 pub mod doppler;
+pub mod f32path;
 pub mod if_correction;
 pub mod localize;
 pub mod multitag;

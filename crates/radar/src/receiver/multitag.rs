@@ -447,34 +447,23 @@ pub fn detect_all(
 /// `range_slice_banded` — so the result is bit-identical to the sequential
 /// path while touching `acc` once.
 fn accumulate_band(map: &RangeDopplerMap, lo: usize, hi: usize, acc: &mut [f64]) {
+    // The fused 1-/2-/3-row sums and the wide fallback live in
+    // `biscatter_dsp::simd` behind runtime dispatch; the value sequences
+    // (`0.0 + a`, then one add per extra row) are preserved exactly, so
+    // both tiers stay bit-identical to the sequential path.
     match hi - lo {
-        0 => {
-            for (o, &a) in acc.iter_mut().zip(map.range_slice(lo)) {
-                *o = 0.0 + a;
-            }
-        }
-        1 => {
-            let (r0, r1) = (map.range_slice(lo), map.range_slice(lo + 1));
-            for ((o, &a), &b) in acc.iter_mut().zip(r0).zip(r1) {
-                *o = (0.0 + a) + b;
-            }
-        }
-        2 => {
-            let (r0, r1, r2) = (
-                map.range_slice(lo),
-                map.range_slice(lo + 1),
-                map.range_slice(lo + 2),
-            );
-            for (((o, &a), &b), &c) in acc.iter_mut().zip(r0).zip(r1).zip(r2) {
-                *o = ((0.0 + a) + b) + c;
-            }
-        }
+        0 => biscatter_dsp::simd::band_sum1(acc, map.range_slice(lo)),
+        1 => biscatter_dsp::simd::band_sum2(acc, map.range_slice(lo), map.range_slice(lo + 1)),
+        2 => biscatter_dsp::simd::band_sum3(
+            acc,
+            map.range_slice(lo),
+            map.range_slice(lo + 1),
+            map.range_slice(lo + 2),
+        ),
         _ => {
             acc.fill(0.0);
             for d in lo..=hi {
-                for (o, &p) in acc.iter_mut().zip(map.range_slice(d)) {
-                    *o += p;
-                }
+                biscatter_dsp::simd::add_assign(acc, map.range_slice(d));
             }
         }
     }

@@ -61,26 +61,40 @@ pub fn demodulate(
     scheme: UplinkScheme,
     bit_duration_s: f64,
 ) -> Option<UplinkDecode> {
-    let chirps_per_bit = chirps_per_bit(bit_duration_s, frame.t_period);
-    if chirps_per_bit < 2 || frame.n_chirps() < chirps_per_bit {
-        return None;
-    }
     // Amplitude sequence at the tag's range (magnitude discards the static
     // phase and any residual from background subtraction).
     let amp: Vec<f64> = frame.profiles.iter().map(|p| p[range_bin].abs()).collect();
-    let fs_slow = frame.chirp_rate();
+    demodulate_amps(&amp, frame.t_period, scheme, bit_duration_s)
+}
+
+/// [`demodulate`] from a pre-extracted slow-time amplitude sequence (one
+/// value per chirp) with slot period `t_period`. This is the shared decision
+/// core: the f64 path extracts amplitudes from an [`AlignedFrame`], the f32
+/// fast tier widens its single-precision profiles to f64 at the located bin
+/// and decides through the exact same filters and thresholds.
+pub fn demodulate_amps(
+    amp: &[f64],
+    t_period: f64,
+    scheme: UplinkScheme,
+    bit_duration_s: f64,
+) -> Option<UplinkDecode> {
+    let chirps_per_bit = chirps_per_bit(bit_duration_s, t_period);
+    if chirps_per_bit < 2 || amp.len() < chirps_per_bit {
+        return None;
+    }
+    let fs_slow = 1.0 / t_period;
     let n_bits = amp.len() / chirps_per_bit;
 
     let mut out = UplinkDecode::default();
     match scheme {
         UplinkScheme::Ook { freq_hz } => {
             let g = GoertzelCoeffs::new(freq_hz / fs_slow);
-            decode_ook_windows(&amp, chirps_per_bit, n_bits, &g, &mut out);
+            decode_ook_windows(amp, chirps_per_bit, n_bits, &g, &mut out);
         }
         UplinkScheme::Fsk { freq0_hz, freq1_hz } => {
             let g0 = GoertzelCoeffs::new(freq0_hz / fs_slow);
             let g1 = GoertzelCoeffs::new(freq1_hz / fs_slow);
-            decode_fsk_windows(&amp, chirps_per_bit, n_bits, &g0, &g1, &mut out);
+            decode_fsk_windows(amp, chirps_per_bit, n_bits, &g0, &g1, &mut out);
         }
     }
     Some(out)

@@ -25,64 +25,26 @@ use std::cell::RefCell;
 
 use crate::chirp::Chirp;
 use crate::scene::{Scatterer, Scene, TagModulation};
-use crate::slab::{ArrayCapture, SampleSlab};
+use crate::slab::{ArrayCapture, SampleSlab, SampleSlab32};
 use biscatter_compute::ComputePool;
 use biscatter_dsp::signal::NoiseSource;
 use biscatter_dsp::{Cpx, SPEED_OF_LIGHT, TAU};
-
-/// Samples between oscillator renormalizations (power of two so the check
-/// compiles to a mask test).
-///
-/// The inner loop advances a unit phasor with one complex multiply per
-/// sample instead of evaluating `cos()`. Each multiply perturbs the
-/// magnitude by at most ~2ε relative (ε = 2⁻⁵², the f64 rounding unit), so
-/// after `R` steps the amplitude error is bounded by ~`2 R ε` — for
-/// `R = 256` that is `≈ 1.1e-13`, far below the simulation's noise floor.
-/// Renormalizing every `R` samples keeps that bound independent of chirp
-/// length; the residual *phase* drift is not corrected but also accumulates
-/// only ~`n·ε` radians over an `n`-sample chirp (≲ 1e-12 rad for the longest
-/// chirps simulated), which is orders of magnitude below one IF sample of
-/// phase. See DESIGN.md §9 for the derivation.
-const RENORM_INTERVAL: usize = 256;
-
-#[inline]
-fn renormalize(ph: &mut Cpx) {
-    let s = 1.0 / ph.abs();
-    *ph = ph.scale(s);
-}
 
 /// Adds one scatterer's IF contribution to `out` using the phase-oscillator
 /// recurrence `ph ← ph · rot` (`rot = e^{i 2π f_IF / fs}`), with the
 /// amplitude taken per sample from `amps` (`None` = the constant
 /// `const_amp`, valid when the scatterer is unmodulated).
+///
+/// The inner loop lives in `biscatter_dsp::simd` behind runtime dispatch:
+/// the serial recurrence is blocked into four independent phase streams
+/// advanced by `rot⁴`, renormalized every 256 samples. The error bound is
+/// the serial recurrence's — amplitude drift ≤ ~`2Rε ≈ 1.1e-13` relative
+/// between renormalizations, phase drift ~`nε` radians over an `n`-sample
+/// chirp — see DESIGN.md §9 and §14. Results are bit-identical across
+/// dispatch tiers (scalar vs AVX2).
 #[inline]
-fn accumulate_oscillator(
-    out: &mut [f64],
-    mut ph: Cpx,
-    rot: Cpx,
-    amps: Option<&[f64]>,
-    const_amp: f64,
-) {
-    match amps {
-        None => {
-            for (i, o) in out.iter_mut().enumerate() {
-                *o += const_amp * ph.re;
-                ph *= rot;
-                if i % RENORM_INTERVAL == RENORM_INTERVAL - 1 {
-                    renormalize(&mut ph);
-                }
-            }
-        }
-        Some(amps) => {
-            for (i, (o, &amp)) in out.iter_mut().zip(amps).enumerate() {
-                *o += amp * ph.re;
-                ph *= rot;
-                if i % RENORM_INTERVAL == RENORM_INTERVAL - 1 {
-                    renormalize(&mut ph);
-                }
-            }
-        }
-    }
+fn accumulate_oscillator(out: &mut [f64], ph: Cpx, rot: Cpx, amps: Option<&[f64]>, const_amp: f64) {
+    biscatter_dsp::simd::osc_accum(out, amps, const_amp, ph, rot);
 }
 
 /// Per-scatterer dechirp geometry at one chirp start: the IF tone phasor
@@ -122,16 +84,99 @@ fn modulated_amplitudes<'a>(
     Some(amps)
 }
 
+/// f32 variant of [`modulated_amplitudes`] for the f32 frame tier: the
+/// amplitude waveform is still *evaluated* in f64 (absolute-time switch
+/// phase needs the precision) and each sample is rounded once.
+///
+/// Unlike the f64 path this hoists the modulation match out of the sample
+/// loop and replaces `rem_euclid(1.0)` with `x − x.floor()` — bit-identical
+/// for the non-negative phases that occur here (both are exact below 2⁵³),
+/// but a couple of vector instructions instead of an `fmod` call per
+/// sample. The generic `amplitude_at` walk costs more than the oscillator
+/// accumulation it feeds.
+#[inline]
+fn modulated_amplitudes_32<'a>(
+    s: &Scatterer,
+    t_start: f64,
+    fs: f64,
+    amps: &'a mut [f32],
+) -> Option<&'a [f32]> {
+    #[inline]
+    fn fract_pos(x: f64) -> f64 {
+        x - x.floor()
+    }
+    let level = |active: bool, amp: f64, leak: f64| if active { amp } else { amp * leak };
+    match &s.modulation {
+        TagModulation::None => return None,
+        TagModulation::Subcarrier { freq_hz, duty } => {
+            let (f, duty) = (*freq_hz, *duty);
+            for (i, a) in amps.iter_mut().enumerate() {
+                let t = t_start + i as f64 / fs;
+                *a = level(fract_pos(t * f) < duty, s.amplitude, s.leak) as f32;
+            }
+        }
+        TagModulation::OokBits {
+            freq_hz,
+            bit_duration_s,
+            bits,
+        } => {
+            let f = *freq_hz;
+            for (i, a) in amps.iter_mut().enumerate() {
+                let t = t_start + i as f64 / fs;
+                let active = if bits.is_empty() {
+                    false
+                } else {
+                    let idx = ((t / bit_duration_s).floor() as usize) % bits.len();
+                    bits[idx] && fract_pos(t * f) < 0.5
+                };
+                *a = level(active, s.amplitude, s.leak) as f32;
+            }
+        }
+        TagModulation::FskBits {
+            freq0_hz,
+            freq1_hz,
+            bit_duration_s,
+            bits,
+        } => {
+            for (i, a) in amps.iter_mut().enumerate() {
+                let t = t_start + i as f64 / fs;
+                let active = if bits.is_empty() {
+                    false
+                } else {
+                    let idx = ((t / bit_duration_s).floor() as usize) % bits.len();
+                    let f = if bits[idx] { *freq1_hz } else { *freq0_hz };
+                    fract_pos(t * f) < 0.5
+                };
+                *a = level(active, s.amplitude, s.leak) as f32;
+            }
+        }
+    }
+    Some(amps)
+}
+
 thread_local! {
     /// Per-thread amplitude scratch for modulated scatterers, so parallel
     /// chirp synthesis neither shares a buffer nor allocates per chirp.
     static AMPS: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// f32 counterpart of [`AMPS`] for the f32 frame tier.
+    static AMPS32: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Runs `f` with an `n`-sample thread-local scratch buffer (contents
 /// unspecified; every consumer overwrites before reading).
 fn with_amps<R>(n: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
     AMPS.with(|cell| {
+        let mut amps = cell.borrow_mut();
+        if amps.len() < n {
+            amps.resize(n, 0.0);
+        }
+        f(&mut amps[..n])
+    })
+}
+
+/// f32 counterpart of [`with_amps`].
+fn with_amps32<R>(n: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    AMPS32.with(|cell| {
         let mut amps = cell.borrow_mut();
         if amps.len() < n {
             amps.resize(n, 0.0);
@@ -152,6 +197,22 @@ fn synth_chirp(out: &mut [f64], chirp: &Chirp, scene: &Scene, fs: f64, t_start: 
             };
             let amps = modulated_amplitudes(s, t_start, fs, &mut *amps);
             accumulate_oscillator(out, Cpx::cis(phase0), rot, amps, s.amplitude);
+        }
+    });
+}
+
+/// f32 variant of [`synth_chirp`] for the f32 frame tier. Geometry
+/// (ranges, starting phases, rotations) is computed in f64 exactly as the
+/// f64 path does; only the per-sample accumulation runs in f32 (eight
+/// blocked phase streams, see `biscatter_dsp::simd::osc_accum_32`).
+fn synth_chirp_32(out: &mut [f32], chirp: &Chirp, scene: &Scene, fs: f64, t_start: f64) {
+    with_amps32(out.len(), |amps| {
+        for s in &scene.scatterers {
+            let Some((phase0, rot)) = scatterer_tone(s, chirp, fs, t_start) else {
+                continue;
+            };
+            let amps = modulated_amplitudes_32(s, t_start, fs, &mut *amps);
+            biscatter_dsp::simd::osc_accum_32(out, amps, s.amplitude as f32, Cpx::cis(phase0), rot);
         }
     });
 }
@@ -400,6 +461,45 @@ impl IfReceiver {
             }
         }
     }
+
+    /// f32 tier of [`IfReceiver::dechirp_train_into`]: same layout, same
+    /// chirp geometry (computed in f64), with the per-sample synthesis
+    /// running in single precision and the noise drawn from the fast
+    /// inverse-CDF generator (`NoiseSource::add_awgn_f32_fast`) — Box–Muller
+    /// would otherwise dominate this stage. The realization is seeded and
+    /// deterministic but *differs* from the f64 path's; cross-tier
+    /// validation is statistical (detection/decode agreement at operating
+    /// SNR) plus noiseless kernel bounds, not sample equality.
+    pub fn dechirp_train_into_f32(
+        &self,
+        pool: &ComputePool,
+        train: &crate::frame::ChirpTrain,
+        scene: &Scene,
+        t_frame_start: f64,
+        noise: &mut NoiseSource,
+        out: &mut SampleSlab32,
+    ) {
+        let fs = self.sample_rate_hz;
+        let slots = train.slots();
+        out.layout_rows(slots.iter().map(|s| s.chirp.if_samples(fs)));
+        {
+            let (offsets, data) = out.parts_mut();
+            pool.par_ragged(data, offsets, |r, row| {
+                synth_chirp_32(
+                    row,
+                    &slots[r].chirp,
+                    scene,
+                    fs,
+                    t_frame_start + train.slot_start(r),
+                );
+            });
+        }
+        if self.noise_sigma > 0.0 {
+            for r in 0..out.rows() {
+                noise.add_awgn_f32_fast(out.row_mut(r), self.noise_sigma);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -644,6 +744,65 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn f32_train_tracks_f64_noiseless() {
+        let chirps = vec![Chirp::new(9e9, 1e9, 80e-6); 6];
+        let train = ChirpTrain::with_fixed_period(&chirps, 100e-6).unwrap();
+        let scene = busy_scene();
+        // Noiseless so the residual is pure f32 synthesis rounding; the
+        // noisy case diverges by design (the f32 tier draws its own fast
+        // realization, validated statistically at the frame level).
+        let receiver = IfReceiver {
+            sample_rate_hz: 2e6,
+            noise_sigma: 0.0,
+        };
+        let pool = ComputePool::new(1);
+        let mut n64 = NoiseSource::new(21);
+        let mut slab = SampleSlab::new();
+        receiver.dechirp_train_into(&pool, &train, &scene, 0.0, &mut n64, &mut slab);
+        let mut n32 = NoiseSource::new(21);
+        let mut slab32 = SampleSlab32::new();
+        receiver.dechirp_train_into_f32(&pool, &train, &scene, 0.0, &mut n32, &mut slab32);
+        assert_eq!(slab32.rows(), slab.rows());
+        for r in 0..slab.rows() {
+            for (i, (&g, &w)) in slab32.row(r).iter().zip(slab.row(r)).enumerate() {
+                assert!(
+                    (g as f64 - w).abs() < 1e-3,
+                    "row {r} sample {i}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_train_noise_is_seeded_and_scaled() {
+        let chirps = vec![Chirp::new(9e9, 1e9, 80e-6); 6];
+        let train = ChirpTrain::with_fixed_period(&chirps, 100e-6).unwrap();
+        let scene = Scene::new(); // empty: the slab is pure noise
+        let receiver = IfReceiver {
+            sample_rate_hz: 2e6,
+            noise_sigma: 0.25,
+        };
+        let pool = ComputePool::new(1);
+        let mut a = SampleSlab32::new();
+        let mut b = SampleSlab32::new();
+        let mut na = NoiseSource::new(33);
+        let mut nb = NoiseSource::new(33);
+        receiver.dechirp_train_into_f32(&pool, &train, &scene, 0.0, &mut na, &mut a);
+        receiver.dechirp_train_into_f32(&pool, &train, &scene, 0.0, &mut nb, &mut b);
+        let mut sum_sq = 0.0f64;
+        let mut n = 0usize;
+        for r in 0..a.rows() {
+            assert_eq!(a.row(r), b.row(r), "same seed must replay exactly");
+            for &v in a.row(r) {
+                sum_sq += (v as f64) * (v as f64);
+                n += 1;
+            }
+        }
+        let std = (sum_sq / n as f64).sqrt();
+        assert!((std - 0.25).abs() < 0.01, "noise std {std}");
     }
 
     #[test]

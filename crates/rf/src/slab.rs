@@ -119,6 +119,66 @@ impl ChirpRows for SampleSlab {
     }
 }
 
+/// Single-precision [`SampleSlab`] for the f32 frame tier: same ragged
+/// layout and capacity-reuse behaviour, `f32` samples. Kept as a separate
+/// type (rather than a generic) so the widely-implemented [`ChirpRows`]
+/// trait and its `f64` consumers stay untouched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleSlab32 {
+    data: Vec<f32>,
+    offsets: Vec<usize>,
+}
+
+impl SampleSlab32 {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        SampleSlab32 {
+            data: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Clears the slab and lays out `lens` zero-filled rows, reusing
+    /// capacity from previous frames.
+    pub fn layout_rows(&mut self, lens: impl Iterator<Item = usize>) {
+        self.data.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        let mut total = 0usize;
+        for len in lens {
+            total += len;
+            self.offsets.push(total);
+        }
+        self.data.resize(total, 0.0);
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of samples across all rows.
+    pub fn samples(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// The samples of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// Mutable samples of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[self.offsets[r]..self.offsets[r + 1]]
+    }
+
+    /// The offsets table (length `rows() + 1`) and the mutable flat data,
+    /// split so both can feed `ComputePool::par_ragged`.
+    pub fn parts_mut(&mut self) -> (&[usize], &mut [f32]) {
+        (&self.offsets, &mut self.data)
+    }
+}
+
 /// A multi-antenna capture stored rx-major in one flat buffer:
 /// `[rx][chirp][sample]`. All antennas share the same per-chirp layout
 /// (`chirp_offsets`), so antenna `k`'s block starts at `k * rx_stride()`.

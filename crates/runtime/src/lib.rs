@@ -39,6 +39,7 @@ pub use biscatter_compute as compute;
 /// `biscatter-obs` dependency).
 pub use biscatter_obs as obs;
 
+pub use biscatter_core::isac::precision::PrecisionTier;
 pub use metrics::{
     LatencyHistogram, LatencySnapshot, MetricsSnapshot, RegistrySnapshot, StageMetrics,
     StageSnapshot,

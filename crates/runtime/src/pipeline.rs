@@ -29,10 +29,11 @@ use std::time::Instant;
 use biscatter_compute::ComputePool;
 use biscatter_core::downlink::FrameOutcome;
 use biscatter_core::dsp::arena::Lease;
+use biscatter_core::isac::precision::{run_isac_frame_tiered, PrecisionTier};
 use biscatter_core::isac::{
     align_stage_into, dechirp_stage_into, detect_stage_multi, detect_stage_with,
-    doppler_stage_into, run_isac_frame, run_isac_frame_with, synthesize_frame, warm_dsp_plans,
-    AlignedPair, FrameArena, IsacOutcome, SynthesizedFrame,
+    doppler_stage_into, run_isac_frame, synthesize_frame, warm_dsp_plans, AlignedPair, FrameArena,
+    IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
@@ -117,6 +118,12 @@ pub struct RuntimeConfig {
     /// to 1 (parallelism comes from frame-level pipelining); raise it when
     /// frames are large and cores outnumber the stage workers.
     pub intra_frame_threads: usize,
+    /// Numeric tier for the inline frame path ([`Cell::process`], what fleet
+    /// shards call per frame): `F64` is the oracle with bit-identity
+    /// guarantees, `F32` the validated fast tier. The staged streaming
+    /// pipeline ([`Cell::run_streaming`]) always runs the f64 oracle — its
+    /// envelopes carry f64 leases.
+    pub precision: PrecisionTier,
 }
 
 impl Default for RuntimeConfig {
@@ -126,6 +133,7 @@ impl Default for RuntimeConfig {
             policy: Backpressure::Block,
             workers: StageWorkers::auto(),
             intra_frame_threads: 1,
+            precision: PrecisionTier::F64,
         }
     }
 }
@@ -245,11 +253,13 @@ fn spawn_pool<'s, I, O, F, G>(
 ///   worker pools → sink), the same machinery as the free [`run_streaming`]
 ///   but with per-cell metric names.
 /// * [`Cell::process`] — one frame, inline on the calling thread through
-///   the zero-allocation arena path ([`run_isac_frame_with`]); this is what
-///   a fleet shard calls when it multiplexes many cells onto one thread.
+///   the zero-allocation arena path
+///   ([`biscatter_core::isac::run_isac_frame_with`], or the f32 fast tier
+///   when the config selects it); this is what a fleet shard calls when it
+///   multiplexes many cells onto one thread.
 ///
-/// Both paths are bit-identical to the one-shot [`run_isac_frame`] because
-/// every job carries its own seed.
+/// On the default `F64` tier both paths are bit-identical to the one-shot
+/// [`run_isac_frame`] because every job carries its own seed.
 pub struct Cell {
     id: usize,
     prefix: String,
@@ -317,18 +327,22 @@ impl Cell {
 
     /// Runs one frame inline on the calling thread through the cell's arena
     /// (allocation-free after warm-up) and records it in the cell's frame
-    /// counter and latency histogram. Bit-identical to [`run_isac_frame`].
+    /// counter and latency histogram. On the default `F64` tier the outcome
+    /// is bit-identical to [`run_isac_frame`]; the `F32` tier trades the
+    /// low bits of the hot path for speed (see
+    /// [`biscatter_core::isac::precision`]).
     pub fn process(&self, pool: &ComputePool, job: &FrameJob) -> IsacOutcome {
         let _fs = trace::frame_scope(job.id);
         let _span = biscatter_obs::span!("runtime.frame");
         let t0 = Instant::now();
-        let outcome = run_isac_frame_with(
+        let outcome = run_isac_frame_tiered(
             pool,
             &self.sys,
             &job.scenario,
             &job.payload,
             job.seed,
             &self.arena,
+            self.cfg.precision,
         );
         self.frames.inc();
         self.frame_ns.record(t0.elapsed());

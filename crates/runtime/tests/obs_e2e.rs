@@ -34,6 +34,7 @@ fn every_frame_is_traced_end_to_end() {
         policy: Backpressure::Block,
         workers: StageWorkers::uniform(1),
         intra_frame_threads: 2,
+        ..RuntimeConfig::default()
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
     assert_eq!(report.outcomes.len(), N_FRAMES, "stream must be lossless");

@@ -42,6 +42,7 @@ fn main() {
         policy: Backpressure::Block,
         workers: StageWorkers::auto(),
         intra_frame_threads: 2,
+        ..RuntimeConfig::default()
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
 
@@ -76,6 +77,7 @@ fn main() {
         policy: Backpressure::DropOldest,
         workers: StageWorkers::uniform(1),
         intra_frame_threads: 2,
+        ..RuntimeConfig::default()
     };
     let shed = run_streaming(&sys, WorkloadSpec::four_by_eight(60, 42).jobs(&sys), &lossy);
     println!("=== drop-oldest on capacity-2 queues (60 frames) ===");
