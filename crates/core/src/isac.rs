@@ -24,6 +24,10 @@ use biscatter_compute::ComputePool;
 use biscatter_dsp::arena::{Lease, Pool};
 use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::packet::DownlinkPacket;
+use biscatter_radar::receiver::acquire::{
+    acquire_all, AcquireConfig, AcquireScratch, Acquisition, CorrelatorBank, HypothesisScore,
+    SlopeHypothesis,
+};
 use biscatter_radar::receiver::doppler::{range_doppler_into, RangeDopplerMap};
 use biscatter_radar::receiver::localize::{locate_tag, TagLocation};
 use biscatter_radar::receiver::multitag::{
@@ -80,6 +84,23 @@ pub struct TagDeployment {
     pub uplink_bit_duration_s: f64,
 }
 
+/// A tag that has not yet been acquired: the radar knows neither its chirp
+/// timing nor (until acquisition classifies it) which alphabet slope it is
+/// currently sweeping. [`run_cold_start_frame_with`] runs the correlator
+/// bank over a raw acquisition dwell first and only enters the aligned
+/// frame pipeline once the tag passes the PSLR gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdStartSpec {
+    /// True timing offset of the tag's chirps within the slot period, s
+    /// (what acquisition must recover).
+    pub timing_offset_s: f64,
+    /// Index into [`acquire_hypotheses`] of the slope the tag is sweeping.
+    pub slope_idx: usize,
+    /// Whether a tag is present at all; `false` synthesizes a noise-only
+    /// dwell that acquisition must reject.
+    pub tag_present: bool,
+}
+
 /// One ISAC scenario: tag deployment plus environment.
 #[derive(Debug, Clone)]
 pub struct IsacScenario {
@@ -101,6 +122,9 @@ pub struct IsacScenario {
     pub clutter: Vec<ClutterSpec>,
     /// Moving targets.
     pub movers: Vec<MoverSpec>,
+    /// When set, the primary tag starts unsynchronized and the frame runs
+    /// the acquisition stage first (see [`ColdStartSpec`]).
+    pub cold_start: Option<ColdStartSpec>,
 }
 
 impl IsacScenario {
@@ -117,7 +141,20 @@ impl IsacScenario {
             extra_tags: Vec::new(),
             clutter: Vec::new(),
             movers: Vec::new(),
+            cold_start: None,
         }
+    }
+
+    /// Marks the primary tag unacquired (builder style): the frame must
+    /// first recover `timing_offset_s` and the slope at `slope_idx` from a
+    /// raw dwell before any aligned processing runs.
+    pub fn with_cold_start(mut self, timing_offset_s: f64, slope_idx: usize) -> Self {
+        self.cold_start = Some(ColdStartSpec {
+            timing_offset_s,
+            slope_idx,
+            tag_present: true,
+        });
+        self
     }
 
     /// Adds an additional tag to the scenario (builder style).
@@ -267,6 +304,13 @@ pub struct FrameArena {
     pub if_slabs32: Pool<SampleSlab32>,
     /// Stage 3 aligned frame pairs for the f32 fast tier.
     pub aligned32: Pool<precision::AlignedPair32>,
+    /// Cold-start acquisition dwell captures.
+    pub captures: Pool<Vec<f64>>,
+    /// Cold-start correlator banks (cached template spectra stay warm as
+    /// banks cycle through the pool, like the multi-tag `banks`).
+    pub acq_banks: Pool<CorrelatorBank>,
+    /// Cold-start correlation/energy slabs.
+    pub acquire: Pool<AcquireScratch>,
 }
 
 impl Default for FrameArena {
@@ -296,6 +340,9 @@ impl FrameArena {
             multitag: at(prefix, "multitag"),
             if_slabs32: at(prefix, "if_slabs32"),
             aligned32: at(prefix, "aligned32"),
+            captures: at(prefix, "captures"),
+            acq_banks: at(prefix, "acq_banks"),
+            acquire: at(prefix, "acquire"),
         }
     }
 }
@@ -700,6 +747,169 @@ pub fn run_isac_frame_with(
             &mut scratch,
             &mut mean_power,
         )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cold-start acquisition stage (stage 0).
+//
+// Before the five aligned stages can run, an unsynchronized tag must be
+// acquired from raw baseband: the correlator bank in
+// `radar::receiver::acquire` recovers its timing offset and chirp slope.
+// The acquisition sub-band model: the radar taps an anti-aliased slice of
+// bandwidth `B_acq = fs/4` out of each sweep, so a chirp of duration `d`
+// appears at baseband as a `B_acq/d` Hz/s chirp repeating every slot
+// period — one slope hypothesis per alphabet duration.
+// ---------------------------------------------------------------------------
+
+/// The slope-hypothesis bank for `sys`: one hypothesis per alphabet chirp
+/// duration (up to 8, spread evenly across the alphabet including both
+/// endpoints), each sweeping the `fs/4` acquisition sub-band.
+pub fn acquire_hypotheses(sys: &BiScatterSystem) -> Vec<SlopeHypothesis> {
+    let durations = sys.alphabet.durations();
+    let b_acq = sys.radar.if_sample_rate / 4.0;
+    let n = durations.len().min(8);
+    (0..n)
+        .map(|i| {
+            let idx = i * (durations.len() - 1) / (n - 1).max(1);
+            let d = durations[idx];
+            SlopeHypothesis {
+                slope_hz_per_s: b_acq / d,
+                duration_s: d,
+            }
+        })
+        .collect()
+}
+
+/// The acquisition geometry for `sys`: dwells at the IF sample rate, lags
+/// folding modulo the chirp slot period.
+pub fn acquire_config(sys: &BiScatterSystem) -> AcquireConfig {
+    let fs = sys.radar.if_sample_rate;
+    AcquireConfig {
+        sample_rate_hz: fs,
+        window: (sys.radar.t_period * fs).round() as usize,
+        ..AcquireConfig::default()
+    }
+}
+
+/// Pre-builds this thread's FFT plans for the acquisition overlap-add
+/// lengths `sys`'s hypothesis bank uses — the acquisition-stage counterpart
+/// of [`warm_dsp_plans`], same idempotency.
+pub fn warm_acquire_plans(sys: &BiScatterSystem) {
+    let fs = sys.radar.if_sample_rate;
+    biscatter_dsp::planner::with_planner(|p| {
+        for h in acquire_hypotheses(sys) {
+            let n = biscatter_dsp::fft::next_pow2(2 * h.template_len(fs).max(1)).max(2);
+            let _ = p.rfft_plan(n);
+        }
+    });
+}
+
+/// Synthesizes the raw acquisition dwell a cold-start scenario's radar
+/// captures: Gaussian noise at the tag's uplink SNR budget, plus (when the
+/// tag is present) its sub-band chirp repeating every slot period at the
+/// true timing offset. Deterministic in `seed`; `out` is cleared and
+/// resized to [`AcquireConfig::dwell_len`].
+///
+/// # Panics
+/// Panics if the scenario has no [`ColdStartSpec`].
+pub fn synthesize_cold_start_capture(
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    seed: u64,
+    out: &mut Vec<f64>,
+) {
+    let spec = scenario
+        .cold_start
+        .expect("synthesize_cold_start_capture needs a cold-start scenario");
+    let cfg = acquire_config(sys);
+    let hyps = acquire_hypotheses(sys);
+    let fs = cfg.sample_rate_hz;
+    let max_m = hyps.iter().map(|h| h.template_len(fs)).max().unwrap_or(1);
+    let len = cfg.dwell_len(max_m);
+    out.clear();
+    out.resize(len, 0.0);
+
+    // Noise floor from the two-way uplink budget: the per-chirp SNR spread
+    // over the chirp's samples gives the per-sample SNR of the dwell.
+    let amp = sys.tag_if_amplitude(scenario.tag_range_m);
+    let hyp = hyps[spec.slope_idx.min(hyps.len().saturating_sub(1))];
+    let m = hyp.template_len(fs);
+    let snr_chirp = 10f64.powf(sys.uplink_snr_per_chirp(scenario.tag_range_m) / 10.0);
+    let sigma = (amp * amp * m as f64 / (2.0 * snr_chirp)).sqrt();
+    let mut noise = NoiseSource::new(seed ^ 0xC01D_57A7);
+    for v in out.iter_mut() {
+        *v = noise.gaussian_scaled(sigma);
+    }
+
+    if spec.tag_present {
+        let chirp = biscatter_dsp::signal::chirp(m, 0.0, hyp.slope_hz_per_s, fs, amp, 0.0);
+        let offset = ((spec.timing_offset_s * fs).round() as usize) % cfg.window;
+        let mut start = offset;
+        while start + m <= len {
+            for (i, &c) in chirp.iter().enumerate() {
+                out[start + i] += c;
+            }
+            start += cfg.window;
+        }
+    }
+}
+
+/// What one cold-start frame produced: the acquisition verdict, the full
+/// per-hypothesis scoreboard, and — only if the tag was acquired — the
+/// aligned frame's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColdStartOutcome {
+    /// The PSLR-gated acquisition (None = rejected: no aligned frame ran).
+    pub acquisition: Option<Acquisition>,
+    /// Every hypothesis's score, bank order.
+    pub scores: Vec<HypothesisScore>,
+    /// The integrated frame, present only after successful acquisition.
+    pub frame: Option<IsacOutcome>,
+}
+
+/// Runs one cold-start frame: acquisition stage 0 (correlator bank over the
+/// raw dwell, hypotheses fanned out over `pool`), then — only on a PSLR
+/// pass — the standard five-stage aligned frame. Scenarios without a
+/// [`ColdStartSpec`] skip straight to [`run_isac_frame_with`].
+///
+/// Dwell captures, correlator banks (with their cached template spectra),
+/// and correlation/energy slabs all lease from `arena`, so steady-state
+/// acquisition allocates nothing beyond the per-frame scoreboard.
+pub fn run_cold_start_frame_with(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+    arena: &FrameArena,
+) -> ColdStartOutcome {
+    if scenario.cold_start.is_none() {
+        let frame = run_isac_frame_with(pool, sys, scenario, payload, seed, arena);
+        return ColdStartOutcome {
+            acquisition: None,
+            scores: Vec::new(),
+            frame: Some(frame),
+        };
+    }
+
+    let mut scores = Vec::new();
+    let acquisition = {
+        let _span = biscatter_obs::span!("isac.acquire");
+        let cfg = acquire_config(sys);
+        let mut capture: Lease<Vec<f64>> = arena.captures.take_or(Vec::new);
+        synthesize_cold_start_capture(sys, scenario, seed, &mut capture);
+        let mut bank: Lease<CorrelatorBank> = arena.acq_banks.take_or(CorrelatorBank::default);
+        bank.set_hypotheses(&acquire_hypotheses(sys));
+        let mut scratch: Lease<AcquireScratch> = arena.acquire.take_or(AcquireScratch::default);
+        acquire_all(pool, &mut bank, &cfg, &capture, &mut scratch, &mut scores)
+    };
+
+    let frame = acquisition.map(|_| run_isac_frame_with(pool, sys, scenario, payload, seed, arena));
+    ColdStartOutcome {
+        acquisition,
+        scores,
+        frame,
     }
 }
 

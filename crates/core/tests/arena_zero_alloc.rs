@@ -22,10 +22,12 @@ use std::cell::Cell;
 
 use biscatter_compute::ComputePool;
 use biscatter_core::isac::{
-    align_stage_into, dechirp_stage_into, doppler_stage_into, synthesize_frame, warm_dsp_plans,
+    acquire_config, acquire_hypotheses, align_stage_into, dechirp_stage_into, doppler_stage_into,
+    synthesize_cold_start_capture, synthesize_frame, warm_acquire_plans, warm_dsp_plans,
     AlignedPair, FrameArena, IsacScenario,
 };
 use biscatter_core::system::BiScatterSystem;
+use biscatter_radar::receiver::acquire::{acquire_all, AcquireScratch, CorrelatorBank};
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
 use biscatter_rf::slab::SampleSlab;
 
@@ -100,5 +102,34 @@ fn steady_state_frame_stages_allocate_nothing() {
     assert_eq!(
         n, 0,
         "steady-state dechirp/align/doppler performed {n} heap allocations"
+    );
+
+    // Same audit for acquisition stage 0: after warm-up, the correlator
+    // bank over a dwell — overlap-add FFT correlation, energy folding,
+    // peak/PSLR scans, decision — allocates nothing. The dwell capture,
+    // bank, and slabs lease from the same arena pools the cold-start
+    // runtime path uses; the scoreboard keeps its capacity across frames.
+    let cold = IsacScenario::single_tag(3.0, 16.0 / (128.0 * 120e-6)).with_cold_start(41.7e-6, 2);
+    let cfg = acquire_config(&sys);
+    warm_acquire_plans(&sys);
+    let mut capture = arena.captures.take_or(Vec::new);
+    synthesize_cold_start_capture(&sys, &cold, 7, &mut capture);
+    let mut bank = arena.acq_banks.take_or(CorrelatorBank::default);
+    bank.set_hypotheses(&acquire_hypotheses(&sys));
+    let mut scratch = arena.acquire.take_or(AcquireScratch::default);
+    let mut scores = Vec::new();
+
+    let warm_a = acquire_all(&pool, &mut bank, &cfg, &capture, &mut scratch, &mut scores);
+    let warm_b = acquire_all(&pool, &mut bank, &cfg, &capture, &mut scratch, &mut scores);
+    assert_eq!(warm_a, warm_b, "warm-up acquisitions must be deterministic");
+    assert!(warm_a.is_some(), "warm-up dwell not acquired");
+
+    ALLOCS.with(|c| c.set(0));
+    let measured = acquire_all(&pool, &mut bank, &cfg, &capture, &mut scratch, &mut scores);
+    let n = ALLOCS.with(|c| c.replace(-1));
+    assert_eq!(measured, warm_b, "measured acquisition must match warm-up");
+    assert_eq!(
+        n, 0,
+        "steady-state acquisition performed {n} heap allocations"
     );
 }

@@ -54,6 +54,7 @@ struct PlanCacheMetrics {
     built_bluestein: Counter,
     built_rfft: Counter,
     rfft_calls: Counter,
+    irfft_calls: Counter,
 }
 
 fn cache_metrics() -> &'static PlanCacheMetrics {
@@ -67,6 +68,7 @@ fn cache_metrics() -> &'static PlanCacheMetrics {
             built_bluestein: r.counter("dsp.plan_cache.built_bluestein"),
             built_rfft: r.counter("dsp.plan_cache.built_rfft"),
             rfft_calls: r.counter("dsp.fft.rfft_calls"),
+            irfft_calls: r.counter("dsp.fft.irfft_calls"),
         }
     })
 }
@@ -376,6 +378,46 @@ impl RfftPlan {
         // [`crate::simd`] behind runtime dispatch.
         simd::rfft_unzip(scratch, &self.twiddle, h, out);
     }
+
+    /// Inverse transform: reconstructs the `n` real samples from the half
+    /// spectrum `spec` (bins `0..=n/2`), written to `out` (cleared and
+    /// resized). Normalization is included, so `inverse(process(x))`
+    /// recovers `x` up to rounding — no extra `1/N` scaling is needed.
+    ///
+    /// This is the packed inverse of [`RfftPlan::process_with_scratch`]:
+    /// the zip recovers the half-length packed transform from the half
+    /// spectrum (the forward unzip relations solved for `E`/`O`, using the
+    /// conjugate of the unit-modulus twiddle), then one half-length inverse
+    /// complex FFT (which already carries the `1/(n/2)` factor) and an
+    /// unpack `x[2k] = Re z[k]`, `x[2k+1] = Im z[k]`. Roughly half the work
+    /// of a full complex inverse of length `n`, same as on the forward
+    /// side. The zip loop lives in [`crate::simd`] behind runtime dispatch.
+    ///
+    /// `scratch` holds the packed signal between calls; reusing it makes
+    /// steady-state calls allocation-free for power-of-two `n` (an odd
+    /// half-length falls to a Bluestein inner plan, which allocates its own
+    /// convolution scratch — exactly like the forward path).
+    ///
+    /// # Panics
+    /// Panics if `spec.len()` differs from `n/2 + 1`.
+    pub fn inverse(&self, spec: &[Cpx], out: &mut Vec<f64>, scratch: &mut Vec<Cpx>) {
+        assert_eq!(
+            spec.len(),
+            self.n / 2 + 1,
+            "irfft plan is for {} half-spectrum bins, got {}",
+            self.n / 2 + 1,
+            spec.len()
+        );
+        let h = self.n / 2;
+        simd::irfft_zip(spec, &self.twiddle, h, scratch);
+        self.inner.process_inverse(scratch);
+        out.clear();
+        out.reserve(self.n);
+        for z in scratch.iter() {
+            out.push(z.re);
+            out.push(z.im);
+        }
+    }
 }
 
 /// A per-thread cache of [`FftPlan`]s and [`RfftPlan`]s keyed by length,
@@ -478,6 +520,23 @@ impl FftPlanner {
             out.extend_from_slice(&buf[..n / 2 + 1]);
             self.pack = buf;
         }
+    }
+
+    /// Real signal (length `2·(spec.len() − 1)`) from its half spectrum,
+    /// through the cached [`RfftPlan`]: the packed inverse of
+    /// [`FftPlanner::rfft_half_into`], normalization included.
+    ///
+    /// # Panics
+    /// Panics if `spec` has fewer than two bins (the shortest real plan is
+    /// `n = 2`, i.e. a two-bin half spectrum).
+    pub fn irfft_into(&mut self, spec: &[Cpx], out: &mut Vec<f64>) {
+        assert!(
+            spec.len() >= 2,
+            "irfft needs at least two half-spectrum bins"
+        );
+        cache_metrics().irfft_calls.inc();
+        let plan = self.rfft_plan(2 * (spec.len() - 1));
+        plan.inverse(spec, out, &mut self.pack);
     }
 
     /// Full complex spectrum (length `N`) of a real signal: the half

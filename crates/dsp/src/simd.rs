@@ -168,6 +168,49 @@ fn unzip_one(zk: Cpx, zm: Cpx, w: Cpx) -> Cpx {
     e + w * o
 }
 
+/// The packed-irfft zip — the exact inverse of [`rfft_unzip`]. Recombines
+/// the `h + 1` half-spectrum bins `spec` into the `h` packed half-length
+/// values `Z[k] = E[k] + i·O[k]` with
+/// `E[k] = (X[k] + conj(X[h−k]))/2` and
+/// `O[k] = (X[k] − conj(X[h−k]))·(i/2)·conj(tw[k])` (the forward twiddle is
+/// unit modulus, so its conjugate undoes it exactly). `out` is cleared and
+/// resized to `h`.
+///
+/// # Panics
+/// Panics if `spec.len() < h + 1` or `tw.len() < h + 1`.
+pub fn irfft_zip(spec: &[Cpx], tw: &[Cpx], h: usize, out: &mut Vec<Cpx>) {
+    assert!(spec.len() > h);
+    assert!(tw.len() > h);
+    out.clear();
+    out.resize(h, Cpx::ZERO);
+    #[cfg(target_arch = "x86_64")]
+    if tier() == SimdTier::Avx2 && h >= 4 {
+        // Bin 0 reads the real endpoints; it stays on the scalar path.
+        out[0] = zip_one(spec[0], spec[h], tw[0]);
+        // SAFETY: AVX2 presence established by the dispatch tier; the
+        // vector body covers 1..h only, matching the scalar remainder.
+        let done = unsafe { avx2::irfft_zip_mid(spec, tw, h, &mut out[..]) };
+        for k in done..h {
+            out[k] = zip_one(spec[k], spec[h - k], tw[k]);
+        }
+        return;
+    }
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = zip_one(spec[k], spec[h - k], tw[k]);
+    }
+}
+
+/// One zip bin from the forward half-spectrum entry `xk` and the mirror
+/// entry `xm` (*not yet* conjugated) — shared between the scalar path and
+/// the AVX2 remainder, mirroring [`unzip_one`].
+#[inline]
+fn zip_one(xk: Cpx, xm: Cpx, w: Cpx) -> Cpx {
+    let xs = xm.conj();
+    let e = (xk + xs).scale(0.5);
+    let o = (xk - xs) * Cpx::new(0.0, 0.5);
+    e + w.conj() * o
+}
+
 // ---------------------------------------------------------------------------
 // f64 real kernels (band accumulation, matched-filter axpy, noise floor).
 // ---------------------------------------------------------------------------
@@ -266,6 +309,53 @@ pub fn norm_sq_accum(acc: &mut [f64], row: &[Cpx]) {
     for (a, z) in acc.iter_mut().zip(row) {
         *a += z.norm_sq();
     }
+}
+
+/// `acc[i] += x[i]²` — the acquisition engine's non-coherent window energy
+/// accumulation (real correlation outputs, so the energy is a plain square,
+/// not a complex norm).
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn sq_accum(acc: &mut [f64], x: &[f64]) {
+    assert_eq!(acc.len(), x.len());
+    #[cfg(target_arch = "x86_64")]
+    if tier() == SimdTier::Avx2 {
+        // SAFETY: AVX2 presence established by the dispatch tier.
+        unsafe { avx2::sq_accum(acc, x) };
+        return;
+    }
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += v * v;
+    }
+}
+
+/// First index attaining the maximum of `x`, and the value stored there —
+/// the acquisition peak/PSLR scan. Returns `(0, NEG_INFINITY)` for an empty
+/// slice, so sidelobe scans over empty guard remainders compare away
+/// naturally.
+///
+/// The slice must not contain NaN (correlation energies never do): the
+/// vector body reduces with `max` and then scans for the first element
+/// `== max`, which for NaN-free data is exactly the scalar
+/// first-strict-maximum index, and both tiers return the element stored at
+/// that index — bit-identical results.
+pub fn peak_max(x: &[f64]) -> (usize, f64) {
+    if x.is_empty() {
+        return (0, f64::NEG_INFINITY);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if tier() == SimdTier::Avx2 && x.len() >= 8 {
+        // SAFETY: AVX2 presence established by the dispatch tier.
+        return unsafe { avx2::peak_max(x) };
+    }
+    let mut best = 0usize;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    (best, x[best])
 }
 
 // ---------------------------------------------------------------------------
@@ -633,6 +723,45 @@ mod avx2 {
         k
     }
 
+    /// Vector body for the zip bins `1..h` (pairs of `k`); returns the
+    /// first index not covered so the caller finishes the scalar remainder.
+    /// The exact mirror of [`rfft_unzip_mid`]: conjugated mirror load,
+    /// `+i/2` rotation instead of `−i/2`, conjugated twiddle.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn irfft_zip_mid(
+        spec: &[Cpx],
+        tw: &[Cpx],
+        h: usize,
+        out: &mut [Cpx],
+    ) -> usize {
+        let sp = spec.as_ptr() as *const f64;
+        let tp = tw.as_ptr() as *const f64;
+        let op = out.as_mut_ptr() as *mut f64;
+        let mask = conj_mask_pd();
+        let halve = _mm256_set1_pd(0.5);
+        let zero = _mm256_setzero_pd();
+        let pos_half = _mm256_set1_pd(0.5);
+        let mut k = 1usize;
+        while k + 2 <= h {
+            let xk = _mm256_loadu_pd(sp.add(2 * k));
+            // Mirror load [X[h−k−1], X[h−k]] → swap the 128-bit halves to
+            // get [X[h−k], X[h−k−1]], then conjugate.
+            let xm = _mm256_loadu_pd(sp.add(2 * (h - k - 1)));
+            let xs = _mm256_xor_pd(_mm256_permute2f128_pd(xm, xm, 0x01), mask);
+            let e = _mm256_mul_pd(_mm256_add_pd(xk, xs), halve);
+            let d = _mm256_sub_pd(xk, xs);
+            // d · (0 + 0.5i) via the same mul/addsub sequence as the scalar
+            // complex multiply with w = (0, 0.5).
+            let ds = _mm256_permute_pd(d, 0x5);
+            let o = _mm256_addsub_pd(_mm256_mul_pd(d, zero), _mm256_mul_pd(ds, pos_half));
+            let w = _mm256_xor_pd(_mm256_loadu_pd(tp.add(2 * k)), mask);
+            let res = _mm256_add_pd(e, cmul_pd(o, w));
+            _mm256_storeu_pd(op.add(2 * k), res);
+            k += 2;
+        }
+        k
+    }
+
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn axpy(acc: &mut [f64], w: f64, x: &[f64]) {
         let n = acc.len();
@@ -741,6 +870,65 @@ mod avx2 {
         for j in i..n {
             acc[j] += row[j].norm_sq();
         }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sq_accum(acc: &mut [f64], x: &[f64]) {
+        let n = acc.len();
+        let ap = acc.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v = _mm256_loadu_pd(xp.add(i));
+            let s = _mm256_add_pd(_mm256_loadu_pd(ap.add(i)), _mm256_mul_pd(v, v));
+            _mm256_storeu_pd(ap.add(i), s);
+            i += 4;
+        }
+        for j in i..n {
+            acc[j] += x[j] * x[j];
+        }
+    }
+
+    /// Max-reduce then first-match scan; see the dispatcher's NaN note.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn peak_max(x: &[f64]) -> (usize, f64) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut vmax = _mm256_loadu_pd(xp);
+        let mut i = 4usize;
+        while i + 4 <= n {
+            vmax = _mm256_max_pd(vmax, _mm256_loadu_pd(xp.add(i)));
+            i += 4;
+        }
+        let lo = _mm256_castpd256_pd128(vmax);
+        let hi = _mm256_extractf128_pd(vmax, 1);
+        let m2 = _mm_max_pd(lo, hi);
+        let m1 = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+        let mut best = _mm_cvtsd_f64(m1);
+        for &v in &x[i..] {
+            if v > best {
+                best = v;
+            }
+        }
+        // First element equal to the maximum value (NaN-free data, so this
+        // is the scalar path's first-strict-maximum index).
+        let bv = _mm256_set1_pd(best);
+        let mut k = 0usize;
+        while k + 4 <= n {
+            let eq = _mm256_cmp_pd(_mm256_loadu_pd(xp.add(k)), bv, _CMP_EQ_OQ);
+            let m = _mm256_movemask_pd(eq);
+            if m != 0 {
+                let idx = k + m.trailing_zeros() as usize;
+                return (idx, x[idx]);
+            }
+            k += 4;
+        }
+        for (j, &v) in x.iter().enumerate().skip(k) {
+            if v == best {
+                return (j, v);
+            }
+        }
+        unreachable!("maximum of a NaN-free slice must be an element of it")
     }
 
     /// Renormalizes two packed complex doubles in place:
@@ -991,6 +1179,63 @@ mod tests {
                 out
             });
         }
+    }
+
+    #[test]
+    fn irfft_zip_tiers_bit_identical() {
+        for h in [2usize, 4, 8, 63, 64, 512] {
+            let spec = cvec(h + 1);
+            let tw: Vec<Cpx> = (0..=h)
+                .map(|k| Cpx::cis(-TAU * k as f64 / (2 * h) as f64))
+                .collect();
+            assert_tiers_match(|| {
+                let mut out = Vec::new();
+                irfft_zip(&spec, &tw, h, &mut out);
+                out
+            });
+        }
+    }
+
+    #[test]
+    fn irfft_zip_inverts_rfft_unzip() {
+        // zip(unzip(z)) must reproduce the packed half-length transform —
+        // the identity RfftPlan::inverse relies on.
+        for h in [1usize, 2, 4, 7, 64, 129] {
+            let z = cvec(h);
+            let tw: Vec<Cpx> = (0..=h)
+                .map(|k| Cpx::cis(-TAU * k as f64 / (2 * h) as f64))
+                .collect();
+            let mut spec = Vec::new();
+            rfft_unzip(&z, &tw, h, &mut spec);
+            let mut back = Vec::new();
+            irfft_zip(&spec, &tw, h, &mut back);
+            for (k, (&a, &b)) in back.iter().zip(&z).enumerate() {
+                assert!((a - b).abs() < 1e-12, "bin {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sq_accum_and_peak_max_tiers_bit_identical() {
+        for n in [1usize, 3, 4, 8, 9, 64, 1023] {
+            let a = rvec(n);
+            let b = rvec(n + 3)[3..].to_vec();
+            assert_tiers_match(|| {
+                let mut acc = a.clone();
+                sq_accum(&mut acc, &b);
+                (peak_max(&acc), acc)
+            });
+        }
+    }
+
+    #[test]
+    fn peak_max_prefers_first_of_ties() {
+        let mut x = vec![0.25; 16];
+        x[5] = 1.5;
+        x[9] = 1.5;
+        assert_tiers_match(|| peak_max(&x));
+        assert_eq!(peak_max(&x), (5, 1.5));
+        assert_eq!(peak_max(&[]), (0, f64::NEG_INFINITY));
     }
 
     #[test]

@@ -109,7 +109,71 @@ fn rfft_matches_naive_dft_for_every_even_length_to_64() {
     });
 }
 
+#[test]
+fn irfft_matches_naive_idft_for_every_even_length_to_64() {
+    // The packed inverse (zip + half-length inverse FFT + unpack) against a
+    // naive inverse DFT of the conjugate-mirrored full spectrum: both must
+    // recover the same real signal from the same half spectrum, covering
+    // radix-2 and Bluestein (odd half-length) inner plans.
+    with_planner(|p| {
+        for n in (2..=64usize).step_by(2) {
+            let x = probe(n);
+            let real: Vec<f64> = x.iter().map(|z| z.re).collect();
+            let mut half = Vec::new();
+            p.rfft_half_into(&real, &mut half);
+
+            // Naive IDFT of the mirrored spectrum, via the conjugation
+            // trick: idft(X) = conj(dft(conj(X))) / n.
+            let mut full: Vec<Cpx> = half.clone();
+            full.resize(n, Cpx::ZERO);
+            for k in n / 2 + 1..n {
+                full[k] = full[n - k].conj();
+            }
+            let conj_in: Vec<Cpx> = full.iter().map(|z| z.conj()).collect();
+            let oracle: Vec<f64> = naive_dft(&conj_in)
+                .iter()
+                .map(|z| z.conj().re / n as f64)
+                .collect();
+            let scale: f64 = oracle.iter().map(|v| v.abs()).fold(0.0, f64::max);
+
+            let mut out = Vec::new();
+            p.irfft_into(&half, &mut out);
+            assert_eq!(out.len(), n, "irfft output length for n={n}");
+            for (j, (&a, &b)) in out.iter().zip(&oracle).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + scale),
+                    "irfft n={n} sample {j}: {a} vs {b}"
+                );
+            }
+        }
+    });
+}
+
 proptest! {
+    #[test]
+    fn irfft_roundtrip_is_identity(
+        draw in prop::collection::vec(-100.0f64..100.0, 2..256),
+    ) {
+        // inverse(rfft(x)) == x within 1e-9 through the packed real plans,
+        // for every even length (odd draws are truncated by one sample).
+        let mut vals = draw;
+        vals.truncate(vals.len() & !1);
+        // Draws start at length 2, so truncation never empties the vector.
+        let mut half = Vec::new();
+        let mut back = Vec::new();
+        with_planner(|p| {
+            p.rfft_half_into(&vals, &mut half);
+            p.irfft_into(&half, &mut back);
+        });
+        prop_assert_eq!(back.len(), vals.len());
+        for (a, b) in vals.iter().zip(&back) {
+            prop_assert!(
+                (*a - *b).abs() < 1e-9 * (1.0 + a.abs()),
+                "irfft round trip diverged: {} vs {}", a, b
+            );
+        }
+    }
+
     #[test]
     fn planned_roundtrip_is_identity(
         vals in prop::collection::vec(

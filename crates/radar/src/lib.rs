@@ -14,7 +14,10 @@
 //! * **The receive chain** ([`receiver`]): range FFT, the IF-correction that
 //!   un-warps range profiles across varying slopes (paper §3.3, Fig. 7),
 //!   background subtraction, range–Doppler processing, tag-signature matched
-//!   filtering for localization, and uplink demodulation.
+//!   filtering for localization, uplink demodulation, and cold-start
+//!   acquisition ([`receiver::acquire`]) — an FFT overlap-add correlator
+//!   bank that recovers an unsynchronized tag's timing offset and chirp
+//!   slope from a raw dwell before the aligned pipeline runs.
 //! * **Plain sensing** ([`sensing`]): CFAR-style detection and simple target
 //!   tracking, used to demonstrate that communication is transparent to the
 //!   radar's primary sensing job.

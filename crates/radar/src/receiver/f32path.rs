@@ -269,7 +269,7 @@ mod tests {
         // to small relative error; tiny cells are dominated by f32 rounding
         // of near-cancelling sums and only need absolute agreement.
         let peak = (0..map64.n_doppler)
-            .flat_map(|d| map64.range_slice(d).iter().copied().collect::<Vec<_>>())
+            .flat_map(|d| map64.range_slice(d).to_vec())
             .fold(0.0f64, f64::max);
         let floor = peak * 1e-6;
         let mut checked = 0usize;

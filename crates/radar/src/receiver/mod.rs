@@ -19,6 +19,7 @@
 //! 7. **demodulates the uplink** bits from the slow-time sequence at the
 //!    tag's range ([`uplink`]).
 
+pub mod acquire;
 pub mod aoa;
 pub mod doppler;
 pub mod f32path;

@@ -15,6 +15,13 @@
 //! lossless `Block` policy the streamed outcomes are bit-identical to the
 //! serial path.
 //!
+//! Frames whose job carries a [`biscatter_core::isac::ColdStartSpec`] first
+//! pass through the correlator-bank acquisition stage
+//! ([`pipeline::Cell::process_cold_start`]): the cell recovers the tag's
+//! timing offset and chirp slope from the raw dwell, then runs the aligned
+//! frame only if acquisition succeeds. [`source::cold_start_jobs`] builds a
+//! deterministic workload of such unsynchronized arrivals.
+//!
 //! ```no_run
 //! use biscatter_runtime::pipeline::{run_streaming, RuntimeConfig};
 //! use biscatter_runtime::source::{streaming_system, WorkloadSpec};

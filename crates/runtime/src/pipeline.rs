@@ -32,8 +32,8 @@ use biscatter_core::dsp::arena::Lease;
 use biscatter_core::isac::precision::{run_isac_frame_tiered, PrecisionTier};
 use biscatter_core::isac::{
     align_stage_into, dechirp_stage_into, detect_stage_multi, detect_stage_with,
-    doppler_stage_into, run_isac_frame, synthesize_frame, warm_dsp_plans, AlignedPair, FrameArena,
-    IsacOutcome, SynthesizedFrame,
+    doppler_stage_into, run_cold_start_frame_with, run_isac_frame, synthesize_frame,
+    warm_dsp_plans, AlignedPair, ColdStartOutcome, FrameArena, IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
@@ -343,6 +343,30 @@ impl Cell {
             job.seed,
             &self.arena,
             self.cfg.precision,
+        );
+        self.frames.inc();
+        self.frame_ns.record(t0.elapsed());
+        outcome
+    }
+
+    /// Runs one cold-start frame inline: acquisition stage 0 (the correlator
+    /// bank over the raw dwell, leasing its capture/bank/slab buffers from
+    /// the cell's arena) and then — only if the tag passed the PSLR gate —
+    /// the standard aligned frame. Jobs whose scenarios carry no
+    /// [`biscatter_core::isac::ColdStartSpec`] behave like [`Cell::process`]
+    /// with the outcome wrapped in a [`ColdStartOutcome`]. Recorded in the
+    /// same frame counter/latency histogram as aligned frames.
+    pub fn process_cold_start(&self, pool: &ComputePool, job: &FrameJob) -> ColdStartOutcome {
+        let _fs = trace::frame_scope(job.id);
+        let _span = biscatter_obs::span!("runtime.frame");
+        let t0 = Instant::now();
+        let outcome = run_cold_start_frame_with(
+            pool,
+            &self.sys,
+            &job.scenario,
+            &job.payload,
+            job.seed,
+            &self.arena,
         );
         self.frames.inc();
         self.frame_ns.record(t0.elapsed());

@@ -6,7 +6,7 @@
 //! job, never on worker scheduling — the streaming pipeline and the one-shot
 //! path produce identical outcomes for the same spec.
 
-use biscatter_core::isac::{ClutterSpec, IsacScenario, MoverSpec, TagDeployment};
+use biscatter_core::isac::{ClutterSpec, ColdStartSpec, IsacScenario, MoverSpec, TagDeployment};
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::uplink::UplinkScheme;
 
@@ -162,6 +162,42 @@ pub fn multi_tag_jobs(
                 tag_id: 0,
                 scenario,
                 payload,
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// A deterministic cold-start workload: every frame's tag starts
+/// unsynchronized, so the pipeline must run the acquisition stage before
+/// any aligned processing. Timing offsets are seed-derived in
+/// `[0, 0.9·T_period)`, tags cycle through the first four slope hypotheses,
+/// and every seventh frame is a noise-only dwell the acquisition stage must
+/// reject — all pure functions of `(base_seed, frame id)`, like
+/// [`WorkloadSpec::jobs`].
+pub fn cold_start_jobs(sys: &BiScatterSystem, n_frames: usize, base_seed: u64) -> Vec<FrameJob> {
+    let frame_s = sys.frame_chirps as f64 * sys.radar.t_period;
+    (0..n_frames as u64)
+        .map(|id| {
+            let seed = splitmix64(base_seed ^ (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let offset_s =
+                (splitmix64(seed) % 1_000_000) as f64 / 1_000_000.0 * 0.9 * sys.radar.t_period;
+            let tag_id = (id % 4) as usize;
+            let mut scenario = IsacScenario::single_tag(
+                2.5 + 0.5 * tag_id as f64,
+                (16 + 2 * tag_id) as f64 / frame_s,
+            );
+            scenario.cold_start = Some(ColdStartSpec {
+                timing_offset_s: offset_s,
+                slope_idx: tag_id,
+                tag_present: id % 7 != 6,
+            });
+            FrameJob {
+                id,
+                radar_id: 0,
+                tag_id,
+                scenario,
+                payload: seed.to_be_bytes()[..4].to_vec(),
                 seed,
             }
         })

@@ -17,12 +17,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use biscatter_compute::ComputePool;
 use biscatter_obs::trace::{self, TraceCollector};
-use biscatter_runtime::pipeline::{run_streaming, RuntimeConfig, StageWorkers};
+use biscatter_runtime::pipeline::{run_streaming, Cell, RuntimeConfig, StageWorkers};
 use biscatter_runtime::queue::Backpressure;
-use biscatter_runtime::source::{streaming_system, WorkloadSpec};
+use biscatter_runtime::source::{cold_start_jobs, streaming_system, WorkloadSpec};
 
 const N_FRAMES: usize = 16;
+const N_COLD: usize = 4;
 
 #[test]
 fn every_frame_is_traced_end_to_end() {
@@ -38,6 +40,24 @@ fn every_frame_is_traced_end_to_end() {
     };
     let report = run_streaming(&sys, spec.jobs(&sys), &cfg);
     assert_eq!(report.outcomes.len(), N_FRAMES, "stream must be lossless");
+
+    // Cold-start frames through the same cell machinery (inline path), so
+    // the acquisition stage's spans and metrics land in the same drain.
+    // Frame ids continue past the streamed ones to stay disjoint.
+    let cell = Cell::standalone(sys.clone(), cfg);
+    let pool = ComputePool::new(2);
+    let mut cold = cold_start_jobs(&sys, N_COLD, 7);
+    let mut cold_ids = Vec::new();
+    for job in cold.iter_mut() {
+        job.id += N_FRAMES as u64;
+        cold_ids.push(job.id);
+        let out = cell.process_cold_start(&pool, job);
+        assert!(
+            out.acquisition.is_some(),
+            "cold-start frame {} not acquired",
+            job.id
+        );
+    }
 
     // Gather, per frame id, the set of span names recorded anywhere.
     let collector = TraceCollector::drain();
@@ -117,4 +137,69 @@ fn every_frame_is_traced_end_to_end() {
             .unwrap_or_else(|| panic!("registry is missing gauge `{name}`"));
         assert!(hw >= 1.0, "queue {stage} high-water gauge never moved");
     }
+
+    // Every cold-start frame shows the acquisition stage's spans — the
+    // stage wrapper, the correlator bank, and its fan-out/scan phases — and
+    // then the aligned-frame spans, since every dwell here carries a tag.
+    let acquire_spans = [
+        "isac.acquire",
+        "acquire.bank",
+        "acquire.correlate",
+        "acquire.accumulate",
+        "acquire.scan",
+        "isac.dechirp",
+        "isac.detect",
+    ];
+    for id in &cold_ids {
+        let names = by_frame
+            .get(id)
+            .unwrap_or_else(|| panic!("cold-start frame {id} recorded no spans"));
+        for want in acquire_spans {
+            assert!(
+                names.contains(want),
+                "cold-start frame {id} is missing a `{want}` span (has {names:?})"
+            );
+        }
+    }
+
+    // The cold-start frames ran after `run_streaming` snapshotted the
+    // registry, so their counters need a fresh snapshot. The bank evaluated
+    // every hypothesis once per frame, folded its windows, and — after the
+    // first frame built the templates — served the rest from cache.
+    let snap = biscatter_obs::registry().snapshot();
+    let acq_counter = |name: &str| {
+        snap.counter(name)
+            .unwrap_or_else(|| panic!("registry is missing counter `{name}`"))
+    };
+    let hyps = acq_counter("acquire.hypotheses.evaluated");
+    assert!(hyps >= N_COLD as u64, "hypotheses evaluated: {hyps}");
+    assert!(
+        acq_counter("acquire.windows.accumulated") > hyps,
+        "windows accumulated should exceed hypotheses evaluated"
+    );
+    assert!(
+        acq_counter("acquire.templates.cache_misses") >= 1,
+        "the first cold-start frame must build the template cache"
+    );
+    assert!(
+        acq_counter("acquire.templates.cache_hits") >= 1,
+        "later cold-start frames never hit the template cache"
+    );
+    assert_eq!(
+        acq_counter("acquire.tags.acquired"),
+        N_COLD as u64,
+        "every cold-start dwell here carries a tag"
+    );
+    let bank_size = snap
+        .gauge("acquire.bank.hypotheses")
+        .expect("registry is missing gauge `acquire.bank.hypotheses`");
+    assert!(bank_size >= 1.0, "bank-size gauge never set");
+    let pslr = snap
+        .histogram("acquire.pslr_mdb")
+        .expect("registry is missing histogram `acquire.pslr_mdb`");
+    assert_eq!(
+        pslr.count(),
+        N_COLD as u64,
+        "one PSLR sample per cold-start dwell"
+    );
 }
