@@ -11,7 +11,13 @@
 //! * steady-state allocations of one traced frame (must be 0 — the ring and
 //!   all registry handles exist after warm-up);
 //! * how many spans one frame records, and the cost of draining + exporting
-//!   the Chrome trace JSON.
+//!   the Chrome trace JSON;
+//! * the flight-recorder row: enabled-tracing frames with a `FrameRecord`
+//!   captured per frame, interleaved against plain enabled frames (gate:
+//!   within 2%, and recording must not allocate in steady state);
+//! * the scrape-under-load row: the same frames while a live
+//!   `obs::serve` HTTP server answers `/metrics` every 25 ms from a client
+//!   thread — the cost of Prometheus-style polling on the frame path.
 //!
 //! A plain `main` (harness = false) so the medians can be written to JSON.
 //! `--quick` runs one frame per path and skips the JSON write and the
@@ -30,6 +36,8 @@ use biscatter_core::radar::receiver::doppler::RangeDopplerMap;
 use biscatter_core::rf::slab::SampleSlab;
 use biscatter_core::system::BiScatterSystem;
 use biscatter_runtime::compute::ComputePool;
+use biscatter_runtime::obs::recorder::{FlightRecorder, FrameRecord, StageNanos};
+use biscatter_runtime::obs::serve::MetricsServer;
 use biscatter_runtime::obs::trace::{self, TraceCollector};
 
 thread_local! {
@@ -178,10 +186,132 @@ fn main() {
     );
     assert!(spans_per_frame >= 3, "expected dechirp/align/doppler spans");
 
+    // --- Flight recorder row: frame + one FrameRecord capture. ------------
+    // Interleaved against plain enabled frames like the disabled/enabled
+    // pair above. The record itself is a Mutex lock and a Copy write into a
+    // preallocated ring, so the gate is the same 2% the tracing layer meets.
+    let recorder = FlightRecorder::with_capacity(0, 1024);
+    let flight_record = |frame_id: u64, total_ns: u64| FrameRecord {
+        frame_id,
+        cell_id: 0,
+        t_ns: 0,
+        total_ns,
+        stages: StageNanos {
+            dechirp: total_ns / 3,
+            align: total_ns / 3,
+            doppler: total_ns / 3,
+            ..StageNanos::default()
+        },
+        snr_db: f64::NAN,
+        pslr_db: f64::NAN,
+        decoded_bits: 32,
+        cfar_detections: 1,
+        queue_drops: 0,
+    };
+    trace::set_enabled(true);
+    let (mut base, mut rec) = (Vec::new(), Vec::new());
+    if !quick {
+        for i in 0..samples {
+            base.push(sample_frame_s(
+                &pool, &sys, &synth, &arena, &mut pair, &mut map,
+            ));
+            let t0 = Instant::now();
+            run_frame(&pool, &sys, &synth, &arena, &mut pair, &mut map);
+            recorder.record(flight_record(i as u64, t0.elapsed().as_nanos() as u64));
+            rec.push(t0.elapsed().as_secs_f64());
+        }
+    }
+    let recorder_base_s = if quick { 0.0 } else { median(&mut base) };
+    let recorder_s = if quick { 0.0 } else { median(&mut rec) };
+
+    // Recorder zero-alloc audit: the capture must ride the frame without
+    // touching the heap (the ring was preallocated above).
+    ALLOCS.with(|c| c.set(0));
+    run_frame(&pool, &sys, &synth, &arena, &mut pair, &mut map);
+    recorder.record(flight_record(u64::MAX, 1));
+    let recorder_allocs = ALLOCS.with(|c| c.replace(-1));
+    println!("steady-state allocations with tracing + flight recorder: {recorder_allocs}");
+    assert_eq!(
+        recorder_allocs, 0,
+        "flight-recorder capture allocated in steady state"
+    );
+
+    // --- Scrape-under-load row: frames while /metrics is being polled. ----
+    // A live server plus a client thread scraping every 25 ms — far hotter
+    // than Prometheus' usual 15 s cadence, so this bounds realistic cost
+    // from above. Skipped timing in --quick, but one scrape always runs so
+    // the smoke path covers the server.
+    let server = MetricsServer::start("127.0.0.1:0").expect("bind metrics server");
+    let addr = server.addr();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scrapes = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let scraper = {
+        let (stop, scrapes) = (stop.clone(), scrapes.clone());
+        std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok(mut s) = std::net::TcpStream::connect(addr) {
+                    let _ = s.write_all(
+                        b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n",
+                    );
+                    let mut body = String::new();
+                    if s.read_to_string(&mut body).is_ok() && body.contains("biscatter_") {
+                        scrapes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        })
+    };
+    let mut under_scrape = Vec::new();
+    if !quick {
+        for _ in 0..samples {
+            under_scrape.push(sample_frame_s(
+                &pool, &sys, &synth, &arena, &mut pair, &mut map,
+            ));
+        }
+    } else {
+        // Give the scraper thread one poll so --quick still proves liveness.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    scraper.join().expect("scraper thread");
+    let scrape_count = scrapes.load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown();
+    assert!(
+        scrape_count > 0,
+        "scraper never completed a successful /metrics poll"
+    );
+    let scrape_s = if quick {
+        0.0
+    } else {
+        median(&mut under_scrape)
+    };
+    trace::set_enabled(false);
+
     if quick {
-        println!("--quick: smoke run only, results/BENCH_obs.json not rewritten");
+        println!("--quick: smoke run only ({scrape_count} scrapes), results/BENCH_obs.json not rewritten");
         return;
     }
+
+    let recorder_overhead_pct = (recorder_s / recorder_base_s - 1.0) * 100.0;
+    println!(
+        "flight recorder: plain {:.3} ms, recorded {:.3} ms ({recorder_overhead_pct:+.2}% overhead)",
+        recorder_base_s * 1e3,
+        recorder_s * 1e3,
+    );
+    if recorder_overhead_pct.abs() > 2.0 {
+        eprintln!(
+            "WARNING: flight-recorder capture is {recorder_overhead_pct:+.2}% off the plain \
+             enabled path (gate: 2%) — interleaved medians should sit well inside it"
+        );
+    }
+    let scrape_overhead_pct = (scrape_s / recorder_base_s - 1.0) * 100.0;
+    println!(
+        "scrape under load: {:.3} ms over {} /metrics polls ({scrape_overhead_pct:+.2}% vs unscraped)",
+        scrape_s * 1e3,
+        scrape_count,
+    );
 
     let enabled_overhead_pct = (enabled_s / disabled_s - 1.0) * 100.0;
     println!(
@@ -218,9 +348,12 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"telemetry overhead (crates/bench/benches/obs.rs)\",\n  {dispatch},\n  \"note\": \"stages 2-4 of one ISAC frame on a 1-thread pool; disabled/enabled samples interleaved pairwise ({samples} pairs, medians) so machine drift cancels. disabled = tracing off (one relaxed atomic load + branch per span site); enabled = spans recorded into the per-thread ring. vs_untraced_baseline_pct compares the disabled path to serial_frame_ns in results/BENCH_frame.json (same stages, same system, separate process); acceptance: within 2%, regenerate both back-to-back. traced_steady_state_allocs counted by a wrapping global allocator with tracing enabled; acceptance: 0.\",\n  \"disabled_frame_ns\": {:.0},\n  \"enabled_frame_ns\": {:.0},\n  \"enabled_overhead_pct\": {enabled_overhead_pct:.2},\n  \"vs_untraced_baseline_pct\": {},\n  \"spans_per_frame\": {spans_per_frame},\n  \"trace_export_us\": {:.1},\n  \"traced_steady_state_allocs\": {traced_allocs}\n}}\n",
+        "{{\n  \"bench\": \"telemetry overhead (crates/bench/benches/obs.rs)\",\n  {dispatch},\n  \"note\": \"stages 2-4 of one ISAC frame on a 1-thread pool; disabled/enabled samples interleaved pairwise ({samples} pairs, medians) so machine drift cancels. disabled = tracing off (one relaxed atomic load + branch per span site); enabled = spans recorded into the per-thread ring. recorder_frame_ns adds one FrameRecord capture per frame into the preallocated flight-recorder ring (vs recorder_baseline_ns, same interleaving; acceptance: within 2% and 0 steady-state allocs). scrape_frame_ns is the same frame while a live obs::serve HTTP server answers /metrics every 25 ms from a client thread. vs_untraced_baseline_pct compares the disabled path to serial_frame_ns in results/BENCH_frame.json (same stages, same system, separate process); acceptance: within 2%, regenerate both back-to-back. traced_steady_state_allocs counted by a wrapping global allocator with tracing enabled; acceptance: 0.\",\n  \"disabled_frame_ns\": {:.0},\n  \"enabled_frame_ns\": {:.0},\n  \"enabled_overhead_pct\": {enabled_overhead_pct:.2},\n  \"recorder_baseline_ns\": {:.0},\n  \"recorder_frame_ns\": {:.0},\n  \"recorder_overhead_pct\": {recorder_overhead_pct:.2},\n  \"recorder_steady_state_allocs\": {recorder_allocs},\n  \"scrape_frame_ns\": {:.0},\n  \"scrape_overhead_pct\": {scrape_overhead_pct:.2},\n  \"scrape_polls\": {scrape_count},\n  \"vs_untraced_baseline_pct\": {},\n  \"spans_per_frame\": {spans_per_frame},\n  \"trace_export_us\": {:.1},\n  \"traced_steady_state_allocs\": {traced_allocs}\n}}\n",
         disabled_s * 1e9,
         enabled_s * 1e9,
+        recorder_base_s * 1e9,
+        recorder_s * 1e9,
+        scrape_s * 1e9,
         vs_baseline_pct.map_or("null".to_string(), |p| format!("{p:.2}")),
         export_s * 1e6,
         dispatch = biscatter_bench::dispatch_json_fields(),

@@ -3,6 +3,16 @@
 //! whole-pipeline trace, not an empty or single-subsystem one.
 //!
 //! Usage: `check_trace <path/to/trace.json>`
+//!    or: `check_trace check_scrape <host:port>`
+//!
+//! The `check_scrape` mode is a dependency-free HTTP client (std
+//! `TcpStream`, no curl) for the live observability plane: it scrapes a
+//! running `BISCATTER_METRICS_ADDR` server's `/metrics` and `/health`
+//! endpoints mid-run and validates the payloads — Prometheus content type
+//! and `# HELP`/`# TYPE` comments, monotone cumulative histogram buckets
+//! ending at `le="+Inf"`, and a `/health` JSON document with a status and a
+//! cells array. It retries the connection briefly so CI can launch the
+//! workload and the scraper without a sleep-based handshake.
 //!
 //! Checks performed:
 //! * the file parses with `biscatter_core::json` (same parser Perfetto-bound
@@ -25,10 +35,159 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// One blocking HTTP/1.1 GET over a fresh `TcpStream`, returning
+/// `(status, headers, body)`. The observability server always answers with
+/// `Connection: close`, so read-to-end delimits the body.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String, String), String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "no header/body delimiter in response".to_string())?;
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparsable status line in {head:?}"))?;
+    Ok((status, head.to_string(), body.to_string()))
+}
+
+/// Validates a Prometheus text payload: at least one `biscatter_` family
+/// with `# HELP`/`# TYPE`, and every `_bucket` series monotone cumulative
+/// ending at `le="+Inf"`.
+fn check_metrics_body(body: &str) -> Result<(usize, usize), String> {
+    let helps = body
+        .lines()
+        .filter(|l| l.starts_with("# HELP biscatter_"))
+        .count();
+    let types = body
+        .lines()
+        .filter(|l| l.starts_with("# TYPE biscatter_"))
+        .count();
+    if helps == 0 || types != helps {
+        return Err(format!(
+            "expected matching # HELP/# TYPE comments for biscatter_ families, got {helps}/{types}"
+        ));
+    }
+    // Group bucket lines by series (family + cell label), then check each.
+    let mut series: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    for line in body.lines() {
+        let Some((name, rest)) = line.split_once("le=\"") else {
+            continue;
+        };
+        if !name.contains("_bucket") {
+            continue;
+        }
+        let (le_str, rest) = rest
+            .split_once('"')
+            .ok_or_else(|| format!("unterminated le label in {line:?}"))?;
+        let le = if le_str == "+Inf" {
+            f64::INFINITY
+        } else {
+            le_str
+                .parse()
+                .map_err(|_| format!("bad le bound in {line:?}"))?
+        };
+        let cum: u64 = rest
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad cumulative count in {line:?}"))?;
+        series.entry(name.to_string()).or_default().push((le, cum));
+    }
+    for (name, buckets) in &series {
+        let mut prev = (-1.0f64, 0u64);
+        for &(le, cum) in buckets {
+            if le <= prev.0 {
+                return Err(format!("{name}: le bounds not strictly increasing"));
+            }
+            if cum < prev.1 {
+                return Err(format!("{name}: cumulative counts decrease"));
+            }
+            prev = (le, cum);
+        }
+        if prev.0.is_finite() {
+            return Err(format!("{name}: bucket series does not end at le=\"+Inf\""));
+        }
+    }
+    Ok((helps, series.len()))
+}
+
+fn check_scrape(addr: &str) -> ExitCode {
+    // The workload and this scraper start concurrently in CI; retry the
+    // first connect until the server has bound (bounded, ~15 s).
+    let mut metrics = Err("never attempted".to_string());
+    for _ in 0..60 {
+        metrics = http_get(addr, "/metrics");
+        if metrics.is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    let (status, head, body) = match metrics {
+        Ok(r) => r,
+        Err(err) => return fail(&format!("cannot scrape http://{addr}/metrics: {err}")),
+    };
+    if status != 200 {
+        return fail(&format!("/metrics returned HTTP {status}"));
+    }
+    if !head.to_ascii_lowercase().contains("version=0.0.4") {
+        return fail("/metrics content type is not Prometheus text v0.0.4");
+    }
+    let (families, bucket_series) = match check_metrics_body(&body) {
+        Ok(n) => n,
+        Err(err) => return fail(&format!("/metrics payload: {err}")),
+    };
+
+    let (hstatus, _, hbody) = match http_get(addr, "/health") {
+        Ok(r) => r,
+        Err(err) => return fail(&format!("cannot scrape http://{addr}/health: {err}")),
+    };
+    // 503 is a *valid* answer (a Critical cell), not a scrape failure.
+    if hstatus != 200 && hstatus != 503 {
+        return fail(&format!("/health returned HTTP {hstatus}"));
+    }
+    let hdoc = match parse(&hbody) {
+        Ok(d) => d,
+        Err(err) => return fail(&format!("/health is not valid JSON: {err}")),
+    };
+    let Some(overall) = hdoc.get("status").and_then(Value::as_str) else {
+        return fail("/health JSON has no `status` field");
+    };
+    if hdoc.get("cells").and_then(Value::as_array).is_none() {
+        return fail("/health JSON has no `cells` array");
+    }
+
+    println!(
+        "check_scrape: OK: /metrics {families} families ({bucket_series} bucket series), \
+         /health HTTP {hstatus} status={overall}"
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let Some(path) = std::env::args().nth(1) else {
-        return fail("usage: check_trace <trace.json>");
+        return fail("usage: check_trace <trace.json> | check_trace check_scrape <host:port>");
     };
+    if path == "check_scrape" {
+        let Some(addr) = std::env::args().nth(2) else {
+            return fail("usage: check_trace check_scrape <host:port>");
+        };
+        return check_scrape(&addr);
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(err) => return fail(&format!("cannot read {path}: {err}")),

@@ -24,6 +24,7 @@ use biscatter_compute::ComputePool;
 use biscatter_dsp::arena::{Lease, Pool};
 use biscatter_dsp::signal::NoiseSource;
 use biscatter_link::packet::DownlinkPacket;
+use biscatter_obs::recorder::StageNanos;
 use biscatter_radar::receiver::acquire::{
     acquire_all, AcquireConfig, AcquireScratch, Acquisition, CorrelatorBank, HypothesisScore,
     SlopeHypothesis,
@@ -42,6 +43,7 @@ use biscatter_rf::if_gen::IfReceiver;
 use biscatter_rf::scene::{Scatterer, Scene, TagModulation};
 use biscatter_rf::slab::{ChirpRows, SampleSlab, SampleSlab32};
 use biscatter_tag::decoder::DownlinkDecoder;
+use std::time::Instant;
 
 pub mod precision;
 
@@ -723,16 +725,47 @@ pub fn run_isac_frame_with(
     seed: u64,
     arena: &FrameArena,
 ) -> IsacOutcome {
+    let mut times = StageNanos::default();
+    run_isac_frame_with_times(pool, sys, scenario, payload, seed, arena, &mut times)
+}
+
+/// [`run_isac_frame_with`] reporting per-stage wall time into `times` (the
+/// flight recorder's [`StageNanos`]). Timing wraps each stage call with
+/// `Instant` reads — no math changes, so the bit-identity guarantees of the
+/// untimed path carry over exactly; the untimed entry point is this one with
+/// a scratch `StageNanos`.
+pub fn run_isac_frame_with_times(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+    arena: &FrameArena,
+    times: &mut StageNanos,
+) -> IsacOutcome {
+    let t0 = Instant::now();
     let synth = synthesize_frame(sys, scenario, payload, seed);
+    times.synthesize = t0.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut if_slab: Lease<SampleSlab> = arena.if_slabs.take_or(SampleSlab::new);
     dechirp_stage_into(pool, sys, &synth.train, &synth.scene, seed, &mut if_slab);
+    times.dechirp = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut pair: Lease<AlignedPair> = arena.aligned.take_or(AlignedPair::default);
     align_stage_into(pool, sys, &synth.train, &*if_slab, &mut pair);
     drop(if_slab);
+    times.align = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut map: Lease<RangeDopplerMap> = arena.maps.take_or(RangeDopplerMap::default);
     doppler_stage_into(pool, &pair, &mut map);
+    times.doppler = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut mean_power: Lease<Vec<f64>> = arena.scratch.take_or(Vec::new);
-    if scenario.extra_tags.is_empty() {
+    let out = if scenario.extra_tags.is_empty() {
         detect_stage_with(scenario, &pair, &map, synth.downlink, &mut mean_power)
     } else {
         let mut bank: Lease<TagBank> = arena.banks.take_or(TagBank::default);
@@ -747,7 +780,9 @@ pub fn run_isac_frame_with(
             &mut scratch,
             &mut mean_power,
         )
-    }
+    };
+    times.detect = t.elapsed().as_nanos() as u64;
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -884,8 +919,25 @@ pub fn run_cold_start_frame_with(
     seed: u64,
     arena: &FrameArena,
 ) -> ColdStartOutcome {
+    let mut times = StageNanos::default();
+    run_cold_start_frame_with_times(pool, sys, scenario, payload, seed, arena, &mut times)
+}
+
+/// [`run_cold_start_frame_with`] reporting per-stage wall time into `times`
+/// (`times.acquire` covers the correlator-bank stage 0; the aligned stages
+/// fill their own fields through [`run_isac_frame_with_times`]). Same
+/// bit-identity as the untimed entry point, which wraps this one.
+pub fn run_cold_start_frame_with_times(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+    arena: &FrameArena,
+    times: &mut StageNanos,
+) -> ColdStartOutcome {
     if scenario.cold_start.is_none() {
-        let frame = run_isac_frame_with(pool, sys, scenario, payload, seed, arena);
+        let frame = run_isac_frame_with_times(pool, sys, scenario, payload, seed, arena, times);
         return ColdStartOutcome {
             acquisition: None,
             scores: Vec::new(),
@@ -894,6 +946,7 @@ pub fn run_cold_start_frame_with(
     }
 
     let mut scores = Vec::new();
+    let t = Instant::now();
     let acquisition = {
         let _span = biscatter_obs::span!("isac.acquire");
         let cfg = acquire_config(sys);
@@ -904,8 +957,10 @@ pub fn run_cold_start_frame_with(
         let mut scratch: Lease<AcquireScratch> = arena.acquire.take_or(AcquireScratch::default);
         acquire_all(pool, &mut bank, &cfg, &capture, &mut scratch, &mut scores)
     };
+    times.acquire = t.elapsed().as_nanos() as u64;
 
-    let frame = acquisition.map(|_| run_isac_frame_with(pool, sys, scenario, payload, seed, arena));
+    let frame = acquisition
+        .map(|_| run_isac_frame_with_times(pool, sys, scenario, payload, seed, arena, times));
     ColdStartOutcome {
         acquisition,
         scores,

@@ -34,6 +34,7 @@ use crate::system::BiScatterSystem;
 use biscatter_compute::ComputePool;
 use biscatter_dsp::arena::Lease;
 use biscatter_dsp::signal::NoiseSource;
+use biscatter_obs::recorder::StageNanos;
 use biscatter_radar::receiver::doppler::{range_doppler_into_f32, RangeDopplerMap};
 use biscatter_radar::receiver::f32path::{align_frame_into_f32, AlignedFrame32};
 use biscatter_radar::receiver::localize::locate_tag;
@@ -43,6 +44,7 @@ use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::if_gen::IfReceiver;
 use biscatter_rf::scene::Scene;
 use biscatter_rf::slab::SampleSlab32;
+use std::time::Instant;
 
 /// Which numeric tier the frame hot path runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -224,19 +226,50 @@ pub fn run_isac_frame_f32_with(
     seed: u64,
     arena: &FrameArena,
 ) -> IsacOutcome {
+    let mut times = StageNanos::default();
+    run_isac_frame_f32_with_times(pool, sys, scenario, payload, seed, arena, &mut times)
+}
+
+/// [`run_isac_frame_f32_with`] reporting per-stage wall time into `times`,
+/// the f32 twin of [`super::run_isac_frame_with_times`]. Timing adds only
+/// `Instant` reads around stage calls; tier numerics are untouched.
+pub fn run_isac_frame_f32_with_times(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+    arena: &FrameArena,
+    times: &mut StageNanos,
+) -> IsacOutcome {
     if !scenario.extra_tags.is_empty() {
-        return super::run_isac_frame_with(pool, sys, scenario, payload, seed, arena);
+        return super::run_isac_frame_with_times(pool, sys, scenario, payload, seed, arena, times);
     }
+    let t0 = Instant::now();
     let synth = synthesize_frame(sys, scenario, payload, seed);
+    times.synthesize = t0.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut if_slab: Lease<SampleSlab32> = arena.if_slabs32.take_or(SampleSlab32::new);
     dechirp_stage_into_f32(pool, sys, &synth.train, &synth.scene, seed, &mut if_slab);
+    times.dechirp = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut pair: Lease<AlignedPair32> = arena.aligned32.take_or(AlignedPair32::default);
     align_stage_into_f32(pool, sys, &synth.train, &if_slab, &mut pair);
     drop(if_slab);
+    times.align = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut map: Lease<RangeDopplerMap> = arena.maps.take_or(RangeDopplerMap::default);
     doppler_stage_into_f32(pool, &pair, &mut map);
+    times.doppler = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
     let mut mean_power: Lease<Vec<f64>> = arena.scratch.take_or(Vec::new);
-    detect_stage_with_f32(scenario, &pair, &map, synth.downlink, &mut mean_power)
+    let out = detect_stage_with_f32(scenario, &pair, &map, synth.downlink, &mut mean_power);
+    times.detect = t.elapsed().as_nanos() as u64;
+    out
 }
 
 /// [`run_isac_frame_f32_with`] without explicit plumbing: global pool, fresh
@@ -271,6 +304,29 @@ pub fn run_isac_frame_tiered(
     match tier {
         PrecisionTier::F64 => super::run_isac_frame_with(pool, sys, scenario, payload, seed, arena),
         PrecisionTier::F32 => run_isac_frame_f32_with(pool, sys, scenario, payload, seed, arena),
+    }
+}
+
+/// [`run_isac_frame_tiered`] reporting per-stage wall time into `times` —
+/// the dispatch point the flight-recorder-instrumented runtime cells call.
+#[allow(clippy::too_many_arguments)]
+pub fn run_isac_frame_tiered_times(
+    pool: &ComputePool,
+    sys: &BiScatterSystem,
+    scenario: &IsacScenario,
+    payload: &[u8],
+    seed: u64,
+    arena: &FrameArena,
+    tier: PrecisionTier,
+    times: &mut StageNanos,
+) -> IsacOutcome {
+    match tier {
+        PrecisionTier::F64 => {
+            super::run_isac_frame_with_times(pool, sys, scenario, payload, seed, arena, times)
+        }
+        PrecisionTier::F32 => {
+            run_isac_frame_f32_with_times(pool, sys, scenario, payload, seed, arena, times)
+        }
     }
 }
 

@@ -11,7 +11,10 @@
 //! Tracing is **enabled** for the whole test: the obs layer promises that
 //! enabled-path span recording never allocates in steady state (the
 //! per-thread ring and the registry handles are set up during warm-up), so
-//! the audit holds with full telemetry on.
+//! the audit holds with full telemetry on. The flight recorder is part of
+//! the same promise — its ring is preallocated at construction, so
+//! recording a `FrameRecord` (fill and wrap alike) happens inside the
+//! measuring window too.
 //!
 //! The counter is thread-local, so the (single) test is immune to allocator
 //! traffic from the harness's other threads. This file must keep exactly one
@@ -26,6 +29,7 @@ use biscatter_core::isac::{
     synthesize_cold_start_capture, synthesize_frame, warm_acquire_plans, warm_dsp_plans,
     AlignedPair, FrameArena, IsacScenario,
 };
+use biscatter_core::obs::recorder::{FlightRecorder, FrameRecord, StageNanos};
 use biscatter_core::system::BiScatterSystem;
 use biscatter_radar::receiver::acquire::{acquire_all, AcquireScratch, CorrelatorBank};
 use biscatter_radar::receiver::doppler::RangeDopplerMap;
@@ -94,15 +98,44 @@ fn steady_state_frame_stages_allocate_nothing() {
     let warm_b = run_frame(1);
     assert_eq!(warm_a, warm_b, "warm-up frames must be deterministic");
 
-    // Measured steady-state frame.
+    // The flight recorder rides the frame path (the runtime records one
+    // `FrameRecord` per frame at capture time), so it is audited inside the
+    // same window: the ring is preallocated at construction and `record`
+    // must stay allocation-free even once it wraps.
+    let recorder = FlightRecorder::with_capacity(0, 4);
+    let flight_record = |seed: u64, total_ns: u64| FrameRecord {
+        frame_id: seed,
+        cell_id: 0,
+        t_ns: 0,
+        total_ns,
+        stages: StageNanos {
+            dechirp: total_ns / 3,
+            align: total_ns / 3,
+            doppler: total_ns / 3,
+            ..StageNanos::default()
+        },
+        snr_db: f64::NAN,
+        pslr_db: f64::NAN,
+        decoded_bits: 0,
+        cfar_detections: 0,
+        queue_drops: 0,
+    };
+
+    // Measured steady-state frame, recorder included. Eight records into a
+    // capacity-4 ring exercises both the fill and the overwrite path.
     ALLOCS.with(|c| c.set(0));
     let measured = run_frame(1);
+    for i in 0..8 {
+        recorder.record(flight_record(i, 1_000_000));
+    }
     let n = ALLOCS.with(|c| c.replace(-1));
     assert_eq!(measured, warm_b, "measured frame must match warm-up output");
     assert_eq!(
         n, 0,
-        "steady-state dechirp/align/doppler performed {n} heap allocations"
+        "steady-state dechirp/align/doppler + flight recorder performed {n} heap allocations"
     );
+    assert_eq!(recorder.total_recorded(), 8);
+    assert_eq!(recorder.overwritten(), 4);
 
     // Same audit for acquisition stage 0: after warm-up, the correlator
     // bank over a dwell — overlap-add FFT correlation, energy folding,

@@ -180,6 +180,10 @@ impl Fleet {
         if trace_path.is_some() {
             trace::set_enabled(true);
         }
+        // `BISCATTER_METRICS_ADDR=<host:port>` starts the live scrape
+        // server: `/metrics`, `/health`, `/frames`, `/trace` stay up for
+        // the rest of the process. Idempotent — only the first call binds.
+        biscatter_obs::serve::spawn_from_env();
 
         let t0 = Instant::now();
         let admission = &admission;

@@ -13,6 +13,7 @@
 //!   compute pool, fleet admission/handoff counters), which is genuinely
 //!   process-global and would double-count if merged per cell.
 
+use biscatter_obs::health::{self, CellHealthReport};
 use biscatter_obs::json::Value;
 use biscatter_obs::metrics::RegistrySnapshot;
 
@@ -27,13 +28,24 @@ pub struct FleetSnapshot {
     pub aggregate: RegistrySnapshot,
     /// Metrics outside every cell scope (process-global subsystems).
     pub shared: RegistrySnapshot,
+    /// Per-cell health verdicts from the process-wide
+    /// [`biscatter_obs::health`] engine. Populated by
+    /// [`collect`](Self::collect) (which feeds the engine one observation);
+    /// empty from the pure [`from_registry`](Self::from_registry), which
+    /// must not mutate global health state.
+    pub health: Vec<CellHealthReport>,
 }
 
 impl FleetSnapshot {
     /// Slices the global registry into per-cell, aggregate, and shared
-    /// views for cells `0..n_cells`.
+    /// views for cells `0..n_cells`, and refreshes the health engine with
+    /// the same snapshot so [`FleetSnapshot::health`] reflects this moment.
     pub fn collect(n_cells: usize) -> Self {
-        Self::from_registry(&biscatter_obs::registry().snapshot(), n_cells)
+        let full = biscatter_obs::registry().snapshot();
+        let mut snap = Self::from_registry(&full, n_cells);
+        snap.health = health::global().lock().unwrap().observe_registry(&full);
+        snap.health.retain(|r| (r.cell_id as usize) < n_cells);
+        snap
     }
 
     /// Same as [`collect`](Self::collect), from an already-taken snapshot.
@@ -77,6 +89,7 @@ impl FleetSnapshot {
             per_cell,
             aggregate,
             shared,
+            health: Vec::new(),
         }
     }
 
@@ -101,6 +114,20 @@ impl FleetSnapshot {
                 cell.histogram("runtime.frame.ns")
                     .map_or(0.0, |h| h.percentile(0.99).as_secs_f64() * 1e6),
             ));
+        }
+        if !self.health.is_empty() {
+            out.push_str("health:\n");
+            for r in &self.health {
+                out.push_str(&format!(
+                    "  cell{}: {} drop_rate={:.4} snr_ewma={:.1}dB p99={:.1}us transitions={}\n",
+                    r.cell_id,
+                    r.state.name(),
+                    r.drop_rate,
+                    r.snr_ewma_db,
+                    r.p99_ns as f64 / 1e3,
+                    r.transitions,
+                ));
+            }
         }
         out.push_str("aggregate (counters sum, gauges max, histograms bucket-merged):\n");
         out.push_str(&self.aggregate.to_text());
@@ -131,6 +158,7 @@ impl FleetSnapshot {
         );
         root.insert("aggregate".to_string(), self.aggregate.to_json());
         root.insert("shared".to_string(), self.shared.to_json());
+        root.insert("health".to_string(), health::reports_json(&self.health));
         Value::Object(root)
     }
 }

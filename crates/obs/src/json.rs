@@ -440,6 +440,24 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_numbers_emit_null_and_round_trip_as_null() {
+        // JSON has no NaN/Inf. The emitter mirrors serde_json's strict mode
+        // by writing `null`; parsing that back yields `Value::Null`, never a
+        // number — pinned here so exporters (metrics snapshots, flight
+        // records with NaN SNR) have a stable wire behavior. Prometheus
+        // exposition is the place non-finite values survive verbatim
+        // (`+Inf`/`-Inf`/`NaN`, see `serve::prometheus_text`).
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = Value::Number(bad).to_compact();
+            assert_eq!(s, "null");
+            assert_eq!(parse(&s).unwrap(), Value::Null);
+            let doc = Value::Array(vec![Value::Number(bad), Value::Number(1.0)]);
+            let round = parse(&doc.to_pretty()).unwrap();
+            assert_eq!(round, Value::Array(vec![Value::Null, Value::Number(1.0)]));
+        }
+    }
+
+    #[test]
     fn integral_floats_keep_decimal_point() {
         let s = Value::Number(3.0).to_compact();
         assert_eq!(s, "3.0");

@@ -14,12 +14,27 @@
 //!   of named counters / gauges / histograms with text + JSON export.
 //! * [`json`] — the workspace's hand-rolled JSON tree (moved here from
 //!   `biscatter-core`, which re-exports it), used by both exporters.
+//!
+//! The live observability plane builds on those primitives:
+//!
+//! * [`recorder`] — an always-on, zero-steady-state-allocation flight
+//!   recorder: a fixed-capacity ring of structured per-frame records per
+//!   cell, dumpable as JSONL.
+//! * [`health`] — a per-cell health engine classifying
+//!   Healthy/Degraded/Critical from windowed drop rates, SNR EWMAs, and
+//!   p99 latency vs an SLO, with hysteresis on de-escalation.
+//! * [`serve`] — a std-only HTTP/1.1 scrape server (`BISCATTER_METRICS_ADDR`)
+//!   exposing `/metrics` (Prometheus text v0.0.4), `/health`, `/frames`,
+//!   and `/trace`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
+pub mod serve;
 pub mod trace;
 
 pub use metrics::registry;

@@ -24,7 +24,7 @@ use crate::json::Value;
 
 /// Number of power-of-two latency buckets. Bucket `i` counts samples with
 /// `ns < 2^i` (and `>= 2^(i-1)` for `i > 0`); 48 buckets span ~78 hours.
-const BUCKETS: usize = 48;
+pub const BUCKETS: usize = 48;
 
 /// Concurrent log-bucketed histogram of durations.
 pub struct LatencyHistogram {
@@ -89,6 +89,33 @@ impl LatencySnapshot {
         self.count
     }
 
+    /// Sum of all recorded samples, nanoseconds (saturating).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Per-bucket sample counts, index `0..`[`BUCKETS`]. Bucket `i` holds
+    /// samples with `ns <= `[`bucket_upper_ns`]`(i)`. The Prometheus
+    /// exposition renderer turns these into cumulative `le` buckets.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Inclusive upper edge of log bucket `i`, in nanoseconds: `0` for bucket 0,
+/// `2^i - 1` for `0 < i < `[`BUCKETS`]` - 1`, and `u64::MAX` for the top
+/// bucket (which absorbs everything from `2^(BUCKETS-2)` up).
+pub fn bucket_upper_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencySnapshot {
     /// Mean latency over all samples.
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
@@ -102,13 +129,18 @@ impl LatencySnapshot {
         Duration::from_nanos(self.max_ns)
     }
 
-    /// Estimated latency at quantile `q` in `[0, 1]`, resolved to the upper
-    /// edge of the log bucket containing that rank (≤ 2x overestimate).
+    /// Estimated latency at quantile `q`, resolved to the upper edge of the
+    /// log bucket containing that rank (≤ 2x overestimate). `q` outside
+    /// `[0, 1]` clamps to the nearest endpoint — `percentile(-3.0)` is
+    /// `percentile(0.0)` and `percentile(7.0)` is `percentile(1.0)` — and a
+    /// `NaN` quantile resolves to the minimum rank, never an out-of-range
+    /// index (`crates/obs/tests/percentile_props.rs` pins this).
     pub fn percentile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             cumulative += n;
@@ -188,7 +220,11 @@ impl Counter {
 pub struct Gauge(Arc<AtomicU64>);
 
 impl Gauge {
-    /// Overwrites the value.
+    /// Overwrites the value. `NaN` is stored as-is (a gauge is a last-value
+    /// cell, and a producer computing `0.0 / 0.0` is a fact worth surfacing)
+    /// — but it never poisons [`set_max`](Self::set_max), and the exporters
+    /// render it explicitly (`NaN` in Prometheus exposition, `null` in
+    /// JSON).
     #[inline]
     pub fn set(&self, v: f64) {
         self.0.store(v.to_bits(), Ordering::Relaxed);
@@ -196,10 +232,25 @@ impl Gauge {
 
     /// Raises the value to `v` if `v` is larger (high-water semantics).
     /// Lock-free CAS loop; concurrent raisers converge on the max.
+    ///
+    /// NaN-safe in both directions: a `NaN` argument is ignored (it compares
+    /// false against everything, so it can never *be* a maximum), and a
+    /// `NaN` already in the cell — stored via [`set`](Self::set) — is
+    /// treated as "no value yet" and replaced, instead of wedging the
+    /// high-water mark forever (`NaN < v` is false for every `v`).
     #[inline]
     pub fn set_max(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
         let mut cur = self.0.load(Ordering::Relaxed);
-        while f64::from_bits(cur) < v {
+        loop {
+            // A NaN in the cell compares false here, so it falls through to
+            // the exchange and is replaced.
+            let cur_f = f64::from_bits(cur);
+            if cur_f >= v {
+                return;
+            }
             match self.0.compare_exchange_weak(
                 cur,
                 v.to_bits(),
@@ -559,6 +610,56 @@ mod tests {
         h.record(Duration::from_nanos(ns));
         let s = h.snapshot();
         assert_eq!(s.percentile(0.99), Duration::from_nanos(ns));
+    }
+
+    #[test]
+    fn set_max_is_nan_safe() {
+        let r = Registry::default();
+        let g = r.gauge("x.hiwater");
+        g.set_max(3.0);
+        g.set_max(f64::NAN); // NaN can never be a maximum: ignored
+        assert_eq!(g.get(), 3.0);
+        // A NaN stored via `set` must not wedge the high-water mark.
+        g.set(f64::NAN);
+        assert!(g.get().is_nan());
+        g.set_max(1.5);
+        assert_eq!(g.get(), 1.5);
+        g.set_max(f64::NEG_INFINITY); // still smaller than 1.5: ignored
+        assert_eq!(g.get(), 1.5);
+        g.set_max(f64::INFINITY);
+        assert_eq!(g.get(), f64::INFINITY);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 40] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(-3.0), s.percentile(0.0));
+        assert_eq!(s.percentile(7.0), s.percentile(1.0));
+        assert_eq!(s.percentile(f64::NAN), s.percentile(0.0));
+        assert_eq!(s.percentile(f64::INFINITY), s.percentile(1.0));
+        assert!(s.percentile(f64::NEG_INFINITY) <= s.max());
+    }
+
+    #[test]
+    fn bucket_accessors_expose_exposition_geometry() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_nanos(5));
+        let s = h.snapshot();
+        assert_eq!(s.bucket_counts().len(), BUCKETS);
+        assert_eq!(s.bucket_counts().iter().sum::<u64>(), 2);
+        assert_eq!(s.sum_ns(), 5);
+        assert_eq!(bucket_upper_ns(0), 0);
+        assert_eq!(bucket_upper_ns(3), 7);
+        assert_eq!(bucket_upper_ns(BUCKETS - 1), u64::MAX);
+        // Sample `5` landed in the bucket whose upper edge covers it.
+        let idx = bucket_index(5);
+        assert!(bucket_upper_ns(idx) >= 5);
+        assert!(s.bucket_counts()[idx] == 1);
     }
 
     #[test]

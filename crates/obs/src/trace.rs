@@ -423,14 +423,27 @@ pub fn export_accumulated(
     path: &str,
     extra: impl IntoIterator<Item = (String, Value)>,
 ) -> std::io::Result<ExportSummary> {
+    let (doc, summary) = accumulated_chrome_trace(extra);
+    std::fs::write(path, doc.to_pretty())?;
+    Ok(summary)
+}
+
+/// The in-memory flavor of [`export_accumulated`]: drains every ring into
+/// the process-global accumulator and returns the cumulative Chrome trace
+/// document (plus `extra` top-level keys) without touching the filesystem.
+/// The `/trace` scrape endpoint serves this directly, and it composes with
+/// later `export_accumulated` calls — both fold into the same accumulator.
+pub fn accumulated_chrome_trace(
+    extra: impl IntoIterator<Item = (String, Value)>,
+) -> (Value, ExportSummary) {
     let mut accum = accumulator().lock().unwrap();
     accum.merge(TraceCollector::drain());
     let doc = accum.chrome_trace_extra(extra);
-    std::fs::write(path, doc.to_pretty())?;
-    Ok(ExportSummary {
+    let summary = ExportSummary {
         spans: accum.span_count(),
         threads: accum.threads.len(),
-    })
+    };
+    (doc, summary)
 }
 
 #[cfg(test)]

@@ -1,0 +1,75 @@
+//! Property tests for `LatencySnapshot::percentile` quantile handling: any
+//! `q` — in range, out of range, or NaN — must resolve to a well-defined
+//! bucket edge, clamped into the `[p0, p100]` envelope. Before the clamp,
+//! out-of-range quantiles indexed the bucket walk on trust.
+
+use std::time::Duration;
+
+use biscatter_obs::metrics::LatencyHistogram;
+use proptest::prelude::*;
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let h = LatencyHistogram::default();
+    for &ns in samples {
+        h.record(Duration::from_nanos(ns));
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn out_of_range_quantiles_clamp_to_the_envelope(
+        samples in prop::collection::vec(0u64..=1u64 << 40, 1..64),
+        q in -10.0f64..10.0f64,
+    ) {
+        let s = histogram_of(&samples).snapshot();
+        let v = s.percentile(q);
+        // Whatever q was, the result is a real bucket edge inside the
+        // distribution's envelope.
+        prop_assert!(v >= s.percentile(0.0));
+        prop_assert!(v <= s.percentile(1.0));
+        // And exactly the clamped quantile's answer.
+        prop_assert_eq!(v, s.percentile(q.clamp(0.0, 1.0)));
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        samples in prop::collection::vec(0u64..=1u64 << 40, 1..64),
+        q1 in 0.0f64..1.0f64,
+        q2 in 0.0f64..1.0f64,
+    ) {
+        let s = histogram_of(&samples).snapshot();
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(s.percentile(lo) <= s.percentile(hi));
+    }
+
+    #[test]
+    fn nan_and_extremes_never_panic(
+        samples in prop::collection::vec(0u64..=1u64 << 40, 0..64),
+    ) {
+        let s = histogram_of(&samples).snapshot();
+        for q in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            -0.0,
+        ] {
+            let _ = s.percentile(q); // must not panic or index out of range
+        }
+        // NaN is treated as q = 0 (the most conservative edge).
+        prop_assert_eq!(s.percentile(f64::NAN), s.percentile(0.0));
+        // Infinities clamp to the envelope ends.
+        prop_assert_eq!(s.percentile(f64::INFINITY), s.percentile(1.0));
+        prop_assert_eq!(s.percentile(f64::NEG_INFINITY), s.percentile(0.0));
+    }
+}
+
+#[test]
+fn empty_snapshot_is_zero_for_any_quantile() {
+    let s = LatencyHistogram::default().snapshot();
+    for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+        assert_eq!(s.percentile(q), Duration::ZERO);
+    }
+}

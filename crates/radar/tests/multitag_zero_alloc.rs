@@ -11,7 +11,9 @@
 //! Tracing is **enabled** for the whole test: the obs layer promises that
 //! enabled-path span recording never allocates in steady state (the
 //! per-thread ring and the registry counter handles are set up during
-//! warm-up), so the audit holds with full telemetry on.
+//! warm-up), so the audit holds with full telemetry on. So is the flight
+//! recorder: the measuring window records one `FrameRecord` per detection
+//! pass into a preallocated ring, as the runtime does per frame.
 //!
 //! The counter is thread-local, so the (single) test is immune to allocator
 //! traffic from the harness's other threads. This file must keep exactly one
@@ -22,6 +24,7 @@ use std::cell::Cell;
 
 use biscatter_compute::ComputePool;
 use biscatter_dsp::signal::NoiseSource;
+use biscatter_obs::recorder::{FlightRecorder, FrameRecord, StageNanos};
 use biscatter_radar::receiver::doppler::range_doppler;
 use biscatter_radar::receiver::multitag::{detect_all, MultiTagScratch, TagBank, TagProfile};
 use biscatter_radar::receiver::uplink::UplinkScheme;
@@ -123,13 +126,44 @@ fn steady_state_multi_tag_detect_allocates_nothing() {
     assert_eq!(located, 8, "every beacon must localize");
     assert_eq!(decoded, 8, "every beacon must decode");
 
-    // Measured steady-state detection.
+    // Preallocated outside the window; `record` must not allocate inside it.
+    let recorder = FlightRecorder::with_capacity(0, 2);
+
+    // Measured steady-state detection, flight-record capture included.
     ALLOCS.with(|c| c.set(0));
     detect_all(&pool, &mut bank, &map, &frame, &mut scratch, &mut out);
+    let snr_db = out
+        .iter()
+        .filter_map(|d| d.location.as_ref().map(|l| l.snr_db))
+        .next()
+        .unwrap_or(f64::NAN);
+    let decoded_bits: u32 = out
+        .iter()
+        .filter_map(|d| d.uplink.as_ref().map(|u| u.bits.len() as u32))
+        .sum();
+    for pass in 0..3 {
+        recorder.record(FrameRecord {
+            frame_id: pass,
+            cell_id: 0,
+            t_ns: 0,
+            total_ns: 1,
+            stages: StageNanos {
+                detect: 1,
+                ..StageNanos::default()
+            },
+            snr_db,
+            pslr_db: f64::NAN,
+            decoded_bits,
+            cfar_detections: out.len() as u32,
+            queue_drops: 0,
+        });
+    }
     let n = ALLOCS.with(|c| c.replace(-1));
     assert_eq!(out, warm, "measured detection must match warm-up output");
     assert_eq!(
         n, 0,
-        "steady-state multi-tag detect performed {n} heap allocations"
+        "steady-state multi-tag detect + flight recorder performed {n} heap allocations"
     );
+    assert_eq!(recorder.total_recorded(), 3);
+    assert_eq!(recorder.overwritten(), 1);
 }

@@ -29,10 +29,10 @@ use std::time::Instant;
 use biscatter_compute::ComputePool;
 use biscatter_core::downlink::FrameOutcome;
 use biscatter_core::dsp::arena::Lease;
-use biscatter_core::isac::precision::{run_isac_frame_tiered, PrecisionTier};
+use biscatter_core::isac::precision::{run_isac_frame_tiered_times, PrecisionTier};
 use biscatter_core::isac::{
     align_stage_into, dechirp_stage_into, detect_stage_multi, detect_stage_with,
-    doppler_stage_into, run_cold_start_frame_with, run_isac_frame, synthesize_frame,
+    doppler_stage_into, run_cold_start_frame_with_times, run_isac_frame, synthesize_frame,
     warm_dsp_plans, AlignedPair, ColdStartOutcome, FrameArena, IsacOutcome, SynthesizedFrame,
 };
 use biscatter_core::system::BiScatterSystem;
@@ -42,6 +42,7 @@ use biscatter_rf::frame::ChirpTrain;
 use biscatter_rf::slab::SampleSlab;
 
 use biscatter_obs::metrics::{Counter, Histogram};
+use biscatter_obs::recorder::{self, FlightRecorder, FrameRecord, StageNanos};
 use biscatter_obs::trace;
 
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, StageMetrics};
@@ -161,6 +162,7 @@ struct EnvSynth {
     job: FrameJob,
     born: Instant,
     synth: SynthesizedFrame,
+    stages: StageNanos,
 }
 struct EnvIf {
     job: FrameJob,
@@ -168,12 +170,14 @@ struct EnvIf {
     train: ChirpTrain,
     downlink: FrameOutcome,
     if_data: Lease<SampleSlab>,
+    stages: StageNanos,
 }
 struct EnvAligned {
     job: FrameJob,
     born: Instant,
     downlink: FrameOutcome,
     pair: Lease<AlignedPair>,
+    stages: StageNanos,
 }
 struct EnvMapped {
     job: FrameJob,
@@ -181,11 +185,13 @@ struct EnvMapped {
     downlink: FrameOutcome,
     pair: Lease<AlignedPair>,
     map: Lease<RangeDopplerMap>,
+    stages: StageNanos,
 }
 struct EnvDone {
     id: u64,
     born: Instant,
     outcome: IsacOutcome,
+    stages: StageNanos,
 }
 
 /// Spawns `workers` threads that drain `input` through `f` into `output`.
@@ -268,6 +274,13 @@ pub struct Cell {
     arena: FrameArena,
     frames: Counter,
     frame_ns: Histogram,
+    /// Always-on flight recorder ring (shared with the scrape server through
+    /// the global `recorder` table).
+    recorder: Arc<FlightRecorder>,
+    /// Cached handles to every cumulative drop counter charged to this cell
+    /// (admission intake + the six stage queues), so capture-time totals
+    /// are atomic loads — no registry lookups on the frame path.
+    drop_counters: Vec<Counter>,
 }
 
 impl Cell {
@@ -288,7 +301,21 @@ impl Cell {
         let frames = r.counter(&format!("{prefix}runtime.frames"));
         let frame_ns = r.histogram(&format!("{prefix}runtime.frame.ns"));
         let arena = FrameArena::scoped(&prefix);
+        let drop_counters = [
+            "fleet.intake.drops",
+            "fleet.intake.rejected",
+            "runtime.queue.synthesize.drops",
+            "runtime.queue.dechirp.drops",
+            "runtime.queue.align.drops",
+            "runtime.queue.doppler.drops",
+            "runtime.queue.detect.drops",
+            "runtime.queue.sink.drops",
+        ]
+        .iter()
+        .map(|name| r.counter(&format!("{prefix}{name}")))
+        .collect();
         Cell {
+            recorder: recorder::for_cell(id as u32),
             id,
             prefix,
             sys,
@@ -296,6 +323,7 @@ impl Cell {
             arena,
             frames,
             frame_ns,
+            drop_counters,
         }
     }
 
@@ -325,6 +353,53 @@ impl Cell {
         &self.arena
     }
 
+    /// The cell's flight recorder (the same ring
+    /// `biscatter_obs::recorder::for_cell(id)` resolves).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Cumulative queue + admission drops charged to this cell right now —
+    /// a sum of atomic loads over the cached counter handles.
+    fn queue_drops_now(&self) -> u64 {
+        self.drop_counters.iter().map(Counter::get).sum()
+    }
+
+    /// Captures one frame into the flight recorder. Allocation-free: the
+    /// record is `Copy` and the ring was preallocated, so the zero-alloc
+    /// audits run with this in the measuring window.
+    fn record_frame(
+        &self,
+        frame_id: u64,
+        total_ns: u64,
+        stages: StageNanos,
+        pslr_db: f64,
+        outcome: &IsacOutcome,
+    ) {
+        let snr_db = outcome.location.as_ref().map_or(f64::NAN, |l| l.snr_db);
+        let decoded_bits = if outcome.tags.is_empty() {
+            outcome.uplink_bits.as_ref().map_or(0, |b| b.len())
+        } else {
+            outcome
+                .tags
+                .iter()
+                .map(|t| t.uplink.as_ref().map_or(0, |u| u.bits.len()))
+                .sum()
+        } as u32;
+        self.recorder.record(FrameRecord {
+            frame_id,
+            cell_id: self.id as u32,
+            t_ns: recorder::now_ns(),
+            total_ns,
+            stages,
+            snr_db,
+            pslr_db,
+            decoded_bits,
+            cfar_detections: outcome.detections.len() as u32,
+            queue_drops: self.queue_drops_now(),
+        });
+    }
+
     /// Runs one frame inline on the calling thread through the cell's arena
     /// (allocation-free after warm-up) and records it in the cell's frame
     /// counter and latency histogram. On the default `F64` tier the outcome
@@ -335,7 +410,8 @@ impl Cell {
         let _fs = trace::frame_scope(job.id);
         let _span = biscatter_obs::span!("runtime.frame");
         let t0 = Instant::now();
-        let outcome = run_isac_frame_tiered(
+        let mut stages = StageNanos::default();
+        let outcome = run_isac_frame_tiered_times(
             pool,
             &self.sys,
             &job.scenario,
@@ -343,9 +419,12 @@ impl Cell {
             job.seed,
             &self.arena,
             self.cfg.precision,
+            &mut stages,
         );
+        let total = t0.elapsed();
         self.frames.inc();
-        self.frame_ns.record(t0.elapsed());
+        self.frame_ns.record(total);
+        self.record_frame(job.id, total.as_nanos() as u64, stages, f64::NAN, &outcome);
         outcome
     }
 
@@ -360,16 +439,41 @@ impl Cell {
         let _fs = trace::frame_scope(job.id);
         let _span = biscatter_obs::span!("runtime.frame");
         let t0 = Instant::now();
-        let outcome = run_cold_start_frame_with(
+        let mut stages = StageNanos::default();
+        let outcome = run_cold_start_frame_with_times(
             pool,
             &self.sys,
             &job.scenario,
             &job.payload,
             job.seed,
             &self.arena,
+            &mut stages,
         );
+        let total = t0.elapsed();
         self.frames.inc();
-        self.frame_ns.record(t0.elapsed());
+        self.frame_ns.record(total);
+        let pslr_db = outcome.acquisition.as_ref().map_or(f64::NAN, |a| a.pslr_db);
+        match &outcome.frame {
+            Some(frame) => {
+                self.record_frame(job.id, total.as_nanos() as u64, stages, pslr_db, frame)
+            }
+            None => {
+                // Rejected acquisition: no aligned frame ran, but the dwell
+                // still cost time and belongs in the flight record.
+                self.recorder.record(FrameRecord {
+                    frame_id: job.id,
+                    cell_id: self.id as u32,
+                    t_ns: recorder::now_ns(),
+                    total_ns: total.as_nanos() as u64,
+                    stages,
+                    snr_db: f64::NAN,
+                    pslr_db,
+                    decoded_bits: 0,
+                    cfar_detections: 0,
+                    queue_drops: self.queue_drops_now(),
+                });
+            }
+        }
         outcome
     }
 
@@ -443,6 +547,9 @@ impl Cell {
         if trace_path.is_some() {
             trace::set_enabled(true);
         }
+        // `BISCATTER_METRICS_ADDR=<host:port>` starts the live scrape server
+        // (idempotent across cells and runs — only the first call binds).
+        biscatter_obs::serve::spawn_from_env();
 
         let t0 = Instant::now();
         let mut outcomes: Vec<(u64, IsacOutcome)> = thread::scope(|scope| {
@@ -473,11 +580,17 @@ impl Cell {
                 || {},
                 |e: EnvJob| {
                     let _fs = trace::frame_scope(e.job.id);
+                    let t = Instant::now();
                     let synth = synthesize_frame(sys, &e.job.scenario, &e.job.payload, e.job.seed);
+                    let stages = StageNanos {
+                        synthesize: t.elapsed().as_nanos() as u64,
+                        ..StageNanos::default()
+                    };
                     EnvSynth {
                         job: e.job,
                         born: e.born,
                         synth,
+                        stages,
                     }
                 },
             );
@@ -492,6 +605,7 @@ impl Cell {
                     let arena = arena.clone();
                     move |e: EnvSynth| {
                         let _fs = trace::frame_scope(e.job.id);
+                        let t = Instant::now();
                         let mut if_data = arena.if_slabs.take_or(SampleSlab::new);
                         dechirp_stage_into(
                             intra,
@@ -501,12 +615,15 @@ impl Cell {
                             e.job.seed,
                             &mut if_data,
                         );
+                        let mut stages = e.stages;
+                        stages.dechirp = t.elapsed().as_nanos() as u64;
                         EnvIf {
                             job: e.job,
                             born: e.born,
                             train: e.synth.train,
                             downlink: e.synth.downlink,
                             if_data,
+                            stages,
                         }
                     }
                 },
@@ -522,14 +639,18 @@ impl Cell {
                     let arena = arena.clone();
                     move |e: EnvIf| {
                         let _fs = trace::frame_scope(e.job.id);
+                        let t = Instant::now();
                         let mut pair = arena.aligned.take_or(AlignedPair::default);
                         align_stage_into(intra, sys, &e.train, &*e.if_data, &mut pair);
                         // `e.if_data` drops here: the slab returns to the arena.
+                        let mut stages = e.stages;
+                        stages.align = t.elapsed().as_nanos() as u64;
                         EnvAligned {
                             job: e.job,
                             born: e.born,
                             downlink: e.downlink,
                             pair,
+                            stages,
                         }
                     }
                 },
@@ -545,14 +666,18 @@ impl Cell {
                     let arena = arena.clone();
                     move |e: EnvAligned| {
                         let _fs = trace::frame_scope(e.job.id);
+                        let t = Instant::now();
                         let mut map = arena.maps.take_or(RangeDopplerMap::default);
                         doppler_stage_into(intra, &e.pair, &mut map);
+                        let mut stages = e.stages;
+                        stages.doppler = t.elapsed().as_nanos() as u64;
                         EnvMapped {
                             job: e.job,
                             born: e.born,
                             downlink: e.downlink,
                             pair: e.pair,
                             map,
+                            stages,
                         }
                     }
                 },
@@ -568,6 +693,7 @@ impl Cell {
                     let arena = arena.clone();
                     move |e: EnvMapped| {
                         let _fs = trace::frame_scope(e.job.id);
+                        let t = Instant::now();
                         let mut mean_power = arena.scratch.take_or(Vec::new);
                         let outcome = if e.job.scenario.extra_tags.is_empty() {
                             detect_stage_with(
@@ -595,10 +721,13 @@ impl Cell {
                             )
                         };
                         // Pair, map, and scratch leases drop here — recycled.
+                        let mut stages = e.stages;
+                        stages.detect = t.elapsed().as_nanos() as u64;
                         EnvDone {
                             id: e.job.id,
                             born: e.born,
                             outcome,
+                            stages,
                         }
                     }
                 },
@@ -614,6 +743,13 @@ impl Cell {
                 e2e.record(lat);
                 self.frames.inc();
                 self.frame_ns.record(lat);
+                self.record_frame(
+                    done.id,
+                    lat.as_nanos() as u64,
+                    done.stages,
+                    f64::NAN,
+                    &done.outcome,
+                );
                 acc.push((done.id, done.outcome));
             }
             acc

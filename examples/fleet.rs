@@ -20,6 +20,16 @@
 //! ```sh
 //! BISCATTER_TRACE=/tmp/biscatter_fleet.json cargo run --release --example fleet
 //! ```
+//!
+//! Set `BISCATTER_METRICS_ADDR=<host:port>` to serve the live observability
+//! plane (`/metrics`, `/health`, `/frames`, `/trace`) while the fleet runs,
+//! and `BISCATTER_FLEET_REPEAT=<n>` to repeat the workload so an external
+//! scraper has a live process to poll mid-run (CI does both):
+//!
+//! ```sh
+//! BISCATTER_METRICS_ADDR=127.0.0.1:9100 BISCATTER_FLEET_REPEAT=50 \
+//!     cargo run --release --example fleet
+//! ```
 
 use biscatter_core::isac::run_isac_frame;
 use biscatter_fleet::{AdmissionPolicy, Fleet, FleetConfig};
@@ -50,8 +60,19 @@ fn main() {
         cfg.n_cells, cfg.shards, spec.mobile_tags, spec.n_ticks, spec.base_seed
     );
 
-    let jobs = spec.jobs(&sys);
+    // CI's obs-smoke job repeats the workload so the metrics server (see
+    // `BISCATTER_METRICS_ADDR`) stays up long enough to be scraped mid-run.
+    let repeat: u32 = std::env::var("BISCATTER_FLEET_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+
     let fleet = Fleet::new(sys.clone(), cfg);
+    for _ in 1..repeat {
+        fleet.run(spec.jobs(&sys));
+    }
+    let jobs = spec.jobs(&sys);
     let report = fleet.run(jobs);
     println!(
         "processed {} frames in {:.3} s, {} handoffs, {} drops",
